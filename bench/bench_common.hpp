@@ -1,0 +1,59 @@
+// Shared plumbing for the per-figure bench binaries: standard header
+// (machine config = Table I), run-config from CLI flags, and the
+// three-panel normalized table the SPEC/NPB/memcached/redis figures share.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "numa/machine_config.hpp"
+#include "runner/cli.hpp"
+#include "runner/experiment.hpp"
+#include "runner/sweep.hpp"
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+namespace vprobe::bench {
+
+/// Print the bench banner with the simulated machine (the paper's Table I).
+inline void print_header(const char* title, const runner::RunConfig& cfg) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+  std::printf("%s\n", numa::MachineConfig::xeon_e5620().summary().c_str());
+  std::printf("instr_scale=%.3g  sampling=%.1fs  seed=%llu  repeats=%d\n\n",
+              cfg.instr_scale, cfg.sampling_period.to_seconds(),
+              static_cast<unsigned long long>(cfg.seed), cfg.repeats);
+}
+
+/// Build the default RunConfig from CLI flags (--scale, --seed, --period,
+/// --repeats).
+inline runner::RunConfig config_from_cli(const runner::Cli& cli,
+                                         double default_scale = 0.25) {
+  runner::RunConfig cfg;
+  cfg.instr_scale = cli.get_double("scale", default_scale);
+  cfg.seed = cli.get_u64("seed", 1);
+  cfg.repeats = cli.get_int("repeats", 3);
+  cfg.sampling_period =
+      sim::Time::seconds(cli.get_double("period", 1.0));
+  return cfg;
+}
+
+/// Scheduler column headers ("workload", then the five approaches).
+inline std::vector<std::string> sched_headers(const std::string& first) {
+  std::vector<std::string> headers{first};
+  for (auto kind : runner::paper_schedulers()) {
+    headers.emplace_back(runner::to_string(kind));
+  }
+  return headers;
+}
+
+/// One row of a normalized panel: metric per scheduler, divided by the
+/// Credit (first) entry.
+inline std::vector<double> normalized_row(
+    std::span<const stats::RunMetrics> runs, const runner::MetricFn& metric) {
+  return runner::normalize_to_first(runner::collect(runs, metric));
+}
+
+}  // namespace vprobe::bench

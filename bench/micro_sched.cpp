@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark) of the scheduler's hot paths — the
+// mechanical backing for the paper's "negligible overhead" claim: Algorithm
+// 1 partition passes, Algorithm 2 steals, Equation (1)-(3) analysis, and
+// raw engine event throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/analyzer.hpp"
+#include "core/numa_balance.hpp"
+#include "core/partitioner.hpp"
+#include "hv/credit.hpp"
+#include "hv/hypervisor.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace vprobe;
+
+constexpr std::int64_t kGB = 1024ll * 1024 * 1024;
+
+std::unique_ptr<hv::Hypervisor> make_machine(int vcpus) {
+  hv::Hypervisor::Config cfg;
+  auto hv = std::make_unique<hv::Hypervisor>(
+      cfg, std::make_unique<hv::CreditScheduler>());
+  hv::Domain& dom =
+      hv->create_domain("VM", 16 * kGB, vcpus, numa::PlacementPolicy::kFillFirst, 0);
+  for (int i = 0; i < vcpus; ++i) {
+    hv::Vcpu& v = dom.vcpu(static_cast<std::size_t>(i));
+    v.vcpu_type = (i % 3 == 0)   ? hv::VcpuType::kLlcFriendly
+                  : (i % 3 == 1) ? hv::VcpuType::kLlcFitting
+                                 : hv::VcpuType::kLlcThrashing;
+    v.node_affinity = static_cast<numa::NodeId>(i % 2);
+    v.llc_pressure = static_cast<double>(i % 30);
+  }
+  return hv;
+}
+
+void BM_PartitionPass(benchmark::State& state) {
+  auto hv = make_machine(static_cast<int>(state.range(0)));
+  core::PeriodicalPartitioner partitioner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitioner.partition(*hv));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionPass)->Arg(8)->Arg(24)->Arg(64)->Arg(256);
+
+void BM_NumaAwareSteal(benchmark::State& state) {
+  auto hv = make_machine(static_cast<int>(state.range(0)));
+  // Queue every VCPU on PCPU 1 so the thief always finds work.
+  for (hv::Vcpu* v : hv->all_vcpus()) {
+    v->state = hv::VcpuState::kRunnable;
+    v->pcpu = 1;
+  }
+  core::NumaAwareBalancer balancer;
+  for (auto _ : state) {
+    for (hv::Vcpu* v : hv->all_vcpus()) {
+      if (!v->in_runqueue) hv->pcpu(1).queue.insert(*v);
+    }
+    benchmark::DoNotOptimize(balancer.steal(*hv, hv->pcpu(0)));
+    state.PauseTiming();
+    for (hv::Vcpu* v : hv->all_vcpus()) {
+      if (v->in_runqueue) hv->pcpu(v->pcpu).queue.remove(*v);
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_NumaAwareSteal)->Arg(8)->Arg(24)->Arg(64);
+
+void BM_AnalyzeVcpu(benchmark::State& state) {
+  auto hv = make_machine(8);
+  hv::Vcpu& v = *hv->all_vcpus()[0];
+  pmu::CounterSet c;
+  c.instr_retired = 1e9;
+  c.llc_refs = 2e7;
+  c.llc_misses = 1e7;
+  c.mem_accesses[0] = 6e6;
+  c.mem_accesses[1] = 4e6;
+  v.pmu.begin_window();
+  v.pmu.add(c);
+  const core::PmuDataAnalyzer analyzer;
+  for (auto _ : state) {
+    analyzer.analyze(v);
+    benchmark::DoNotOptimize(v.llc_pressure);
+  }
+}
+BENCHMARK(BM_AnalyzeVcpu);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    for (int i = 0; i < 10'000; ++i) {
+      engine.schedule(sim::Time::us(i), [] {});
+    }
+    state.ResumeTiming();
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

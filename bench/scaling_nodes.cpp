@@ -1,0 +1,117 @@
+// Node-count scaling (beyond the paper): the paper's testbed has two NUMA
+// nodes; vProbe's algorithms are written for N.  This bench runs the same
+// consolidation pattern on the paper's 2-node Xeon and on a 4-node server
+// and reports Credit vs vProbe — checking that the partitioning and the
+// NUMA-aware balance generalise (and that their benefit grows with node
+// count, since random placement gets *worse* on more nodes: an oblivious
+// scheduler leaves (N-1)/N of accesses remote).
+#include "bench_common.hpp"
+
+#include "workload/hungry.hpp"
+#include "workload/spec.hpp"
+
+using namespace vprobe;
+
+namespace {
+
+constexpr std::int64_t kGB = 1024ll * 1024 * 1024;
+
+struct Outcome {
+  double avg_runtime_s = 0.0;
+  double remote_ratio = 0.0;
+  bool completed = false;
+};
+
+Outcome run(const numa::MachineConfig& machine, runner::SchedKind kind,
+            std::uint64_t seed, double scale) {
+  auto hv = runner::make_hypervisor(kind, seed, {}, machine);
+  const int nodes = machine.num_nodes;
+
+  // One tenant VM per node's worth of memory (fill-first spreads them),
+  // each running four memory-intensive instances; one hog VM per node.
+  std::vector<hv::Domain*> tenants;
+  std::vector<std::unique_ptr<wl::SpecApp>> apps;
+  for (int n = 0; n < nodes; ++n) {
+    hv::Domain& dom = hv->create_domain(
+        "tenant" + std::to_string(n), (machine.mem_bytes_per_node / kGB - 2) * kGB,
+        8, numa::PlacementPolicy::kFillFirst, n);
+    dom.memory().alternate_allocation(true);
+    tenants.push_back(&dom);
+    for (int i = 0; i < 4; ++i) {
+      apps.push_back(std::make_unique<wl::SpecApp>(
+          *hv, dom, dom.vcpu(static_cast<std::size_t>(i)), "milc", scale,
+          "milc@" + std::to_string(n) + "#" + std::to_string(i)));
+    }
+  }
+  // Oversubscribed, like every scenario in the paper: CPU hogs fill every
+  // PCPU so the run queues are never empty.  (In an *exactly* committed
+  // system — one runnable VCPU per PCPU — periodic repartitioning opens
+  // transient holes that idle-stealing refills, which can ping-pong; the
+  // paper never evaluates that regime.)
+  hv::Domain& hogs = hv->create_domain("hogs", 1 * kGB, machine.total_pcpus(),
+                                       numa::PlacementPolicy::kFillFirst, 0);
+  wl::HungryLoops hungry(*hv, hogs, runner::domain_vcpus(hogs));
+
+  hv->start();
+  hungry.start();
+  int launch = 0;
+  for (auto& a : apps) {
+    hv->engine().schedule(sim::Time::ms(5 * ++launch),
+                          [app = a.get()] { app->start(); });
+  }
+
+  Outcome out;
+  out.completed = runner::run_until(
+      *hv,
+      [&] {
+        return std::all_of(apps.begin(), apps.end(),
+                           [](const auto& a) { return a->finished(); });
+      },
+      sim::Time::sec(3600));
+
+  double runtime = 0.0;
+  pmu::CounterSet counters;
+  for (auto& a : apps) runtime += a->runtime().to_seconds();
+  for (hv::Domain* dom : tenants) counters += dom->total_counters();
+  out.avg_runtime_s = runtime / static_cast<double>(apps.size());
+  out.remote_ratio = counters.remote_accesses / counters.total_mem_accesses();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const runner::Cli cli(argc, argv);
+  runner::RunConfig cfg = bench::config_from_cli(cli, 0.1);
+  bench::print_header("Scaling: vProbe on 2-node vs 4-node machines", cfg);
+
+  stats::Table table({"machine", "scheduler", "avg milc runtime (s)",
+                      "remote ratio (%)", "vProbe gain (%)"});
+  for (const auto& [label, machine] :
+       {std::pair{"2-node Xeon E5620", numa::MachineConfig::xeon_e5620()},
+        std::pair{"4-node server", numa::MachineConfig::four_node_server()}}) {
+    Outcome credit, vprobe;
+    for (int s = 0; s < cfg.repeats; ++s) {
+      const auto c = run(machine, runner::SchedKind::kCredit, cfg.seed + s,
+                         cfg.instr_scale);
+      const auto v = run(machine, runner::SchedKind::kVprobe, cfg.seed + s,
+                         cfg.instr_scale);
+      credit.avg_runtime_s += c.avg_runtime_s / cfg.repeats;
+      credit.remote_ratio += c.remote_ratio / cfg.repeats;
+      vprobe.avg_runtime_s += v.avg_runtime_s / cfg.repeats;
+      vprobe.remote_ratio += v.remote_ratio / cfg.repeats;
+    }
+    const double gain =
+        (1.0 - vprobe.avg_runtime_s / credit.avg_runtime_s) * 100.0;
+    table.add_row({label, "Credit", stats::fmt(credit.avg_runtime_s, "%.3f"),
+                   stats::fmt(credit.remote_ratio * 100.0, "%.1f"), "-"});
+    table.add_row({label, "vProbe", stats::fmt(vprobe.avg_runtime_s, "%.3f"),
+                   stats::fmt(vprobe.remote_ratio * 100.0, "%.1f"),
+                   stats::fmt(gain, "%.1f")});
+  }
+  table.print();
+  std::printf(
+      "\nExpectation: the NUMA-oblivious baseline leaves roughly (N-1)/N of"
+      " accesses remote, so vProbe's headroom grows with node count.\n");
+  return 0;
+}

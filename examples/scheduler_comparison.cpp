@@ -1,0 +1,66 @@
+// Compare all five scheduling approaches (Credit, vProbe, VCPU-P, LB, BRM)
+// on one workload of your choice, using the paper's standard three-VM
+// scenario.
+//
+//   $ ./scheduler_comparison soplex            # SPEC app (or "mix")
+//   $ ./scheduler_comparison lu --npb          # NPB app, 4 threads
+//   $ ./scheduler_comparison mix --scale=0.1
+#include <cstdio>
+
+#include "runner/cli.hpp"
+#include "runner/experiment.hpp"
+#include "runner/sweep.hpp"
+#include "stats/json.hpp"
+#include "stats/table.hpp"
+#include "workload/profile.hpp"
+
+using namespace vprobe;
+
+int main(int argc, char** argv) {
+  const runner::Cli cli(argc, argv);
+  const std::string app =
+      cli.positional().empty() ? "soplex" : cli.positional().front();
+  const bool npb = cli.has("npb");
+
+  if (app != "mix" && !wl::has_profile(app)) {
+    std::fprintf(stderr, "unknown application '%s'\n", app.c_str());
+    return 1;
+  }
+
+  runner::RunConfig base;
+  base.instr_scale = cli.get_double("scale", 0.2);
+  base.seed = cli.get_u64("seed", 1);
+  base.repeats = cli.get_int("repeats", 3);
+
+  std::printf("Workload: %s (%s)\n%s\n\n", app.c_str(),
+              npb ? "NPB, 4 threads" : "SPEC-style instances",
+              numa::MachineConfig::xeon_e5620().summary().c_str());
+
+  std::vector<stats::RunMetrics> runs;
+  for (auto kind : runner::paper_schedulers()) {
+    runner::RunConfig cfg = base;
+    cfg.sched = kind;
+    runs.push_back(npb ? runner::run_npb(cfg, app) : runner::run_spec(cfg, app));
+    std::printf("  %-7s done in %.2f simulated seconds\n",
+                runner::to_string(kind), runs.back().sim_seconds);
+  }
+
+  stats::Table table({"scheduler", "avg runtime (s)", "normalized",
+                      "remote ratio (%)", "cross-node migrations"});
+  const double base_runtime = runs.front().avg_runtime_s;
+  for (const auto& m : runs) {
+    table.add_row({m.scheduler, stats::fmt(m.avg_runtime_s, "%.3f"),
+                   stats::fmt(stats::normalized(m.avg_runtime_s, base_runtime), "%.3f"),
+                   stats::fmt(m.remote_access_ratio() * 100.0, "%.1f"),
+                   std::to_string(m.cross_node_migrations)});
+  }
+  std::printf("\n");
+  table.print();
+
+  // --json: machine-readable results, one object per scheduler.
+  if (cli.has("json")) {
+    std::printf("\n");
+    for (const auto& m : runs) std::printf("%s\n", stats::to_json(m).c_str());
+  }
+  return 0;
+}

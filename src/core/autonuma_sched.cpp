@@ -1,0 +1,65 @@
+#include "core/autonuma_sched.hpp"
+
+#include "core/analyzer.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace vprobe::core {
+
+void AutoNumaScheduler::attach(hv::Hypervisor& hv) {
+  CreditScheduler::attach(hv);
+  PagePolicy::Options popts = options_.page_policy;
+  popts.memory_intensive_only = false;  // NUMA balancing samples every task
+  page_policy_ = PagePolicy(popts);
+  sampler_ = std::make_unique<pmu::Sampler>(hv.engine(), options_.sampling_period);
+  sampler_->start([this] { on_sampling_period(); });
+}
+
+void AutoNumaScheduler::vcpu_created(hv::Vcpu& vcpu) {
+  CreditScheduler::vcpu_created(vcpu);
+  sampler_->register_pmu(&vcpu.pmu);
+}
+
+void AutoNumaScheduler::on_sampling_period() {
+  // Keep the analyzer fields fresh: the page policy keys off vcpu_type and
+  // downstream tooling expects them regardless of scheduler.
+  const PmuDataAnalyzer analyzer;
+  int sampled = 0;
+
+  for (hv::Vcpu* v : hv_->all_vcpus()) {
+    if (!v->active()) continue;
+    analyzer.analyze(*v);
+    ++sampled;
+
+    const pmu::CounterSet window = v->pmu.window_delta();
+    const double total = window.total_mem_accesses();
+    if (total <= 0.0) continue;
+
+    // Preferred node = dominant access target this period.
+    const numa::NodeId preferred = window.busiest_node();
+    if (preferred == numa::kInvalidNode) continue;
+    const double share =
+        window.mem_accesses[static_cast<std::size_t>(preferred)] / total;
+    if (share < options_.dominance_threshold) continue;
+
+    const numa::NodeId current = hv_->topology().node_of(v->pcpu);
+    if (current != preferred) {
+      // Task-follows-memory: greedy, with no cross-node evenness constraint
+      // — the defining difference from vProbe's Algorithm 1.
+      hv_->migrate_to_node(*v, preferred);
+      ++task_migrations_;
+    }
+  }
+
+  // Memory-follows-task for whoever stayed put.
+  if (options_.migrate_pages) {
+    const auto moved = page_policy_.run(*hv_);
+    pages_migrated_ += static_cast<std::uint64_t>(moved.chunks_moved);
+    hv_->charge_overhead(hv::OverheadBucket::kBalancing, moved.cost,
+                         &hv_->pcpu(0));
+  }
+
+  hv_->charge_overhead(hv::OverheadBucket::kPmuCollection,
+                       options_.sampling_cost * sampled, &hv_->pcpu(0));
+}
+
+}  // namespace vprobe::core

@@ -1,0 +1,38 @@
+#include "core/dynamic_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vprobe::core {
+namespace {
+
+double quantile(std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+void DynamicBounds::update(PmuDataAnalyzer& analyzer,
+                           std::vector<double> pressures) {
+  if (pressures.empty()) return;
+  std::sort(pressures.begin(), pressures.end());
+
+  const double q_low = quantile(pressures, 1.0 / 3.0);
+  const double q_high = quantile(pressures, 2.0 / 3.0);
+
+  auto& cfg = analyzer.config();
+  cfg.low += cfg_.smoothing * (q_low - cfg.low);
+  cfg.high += cfg_.smoothing * (q_high - cfg.high);
+
+  cfg.low = std::clamp(cfg.low, cfg_.min_low, cfg_.max_low);
+  cfg.high = std::clamp(cfg.high, cfg_.min_high, cfg_.max_high);
+  if (cfg.high - cfg.low < cfg_.min_gap) {
+    cfg.high = cfg.low + cfg_.min_gap;
+  }
+}
+
+}  // namespace vprobe::core

@@ -1,0 +1,2 @@
+// LbScheduler is header-only; this TU anchors it in the core library.
+#include "core/lb_sched.hpp"

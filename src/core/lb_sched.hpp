@@ -1,0 +1,27 @@
+// LB: the paper's second ablation — NUMA-aware load balance (Algorithm 2)
+// only, with no periodical partitioning (Section V-A2).  The PMU analyzer
+// still runs: Algorithm 2 needs each VCPU's LLC access pressure to choose
+// what to steal.
+#pragma once
+
+#include "core/vprobe_sched.hpp"
+
+namespace vprobe::core {
+
+class LbScheduler : public VprobeScheduler {
+ public:
+  LbScheduler() : VprobeScheduler(make_options({})) {}
+  explicit LbScheduler(Options options)
+      : VprobeScheduler(make_options(options)) {}
+
+  const char* name() const override { return "LB"; }
+
+ private:
+  static Options make_options(Options options) {
+    options.enable_partitioning = false;
+    options.enable_numa_balance = true;
+    return options;
+  }
+};
+
+}  // namespace vprobe::core

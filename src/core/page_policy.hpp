@@ -1,0 +1,48 @@
+// Page-migration policy — the paper's second "future work" item
+// (Section VI), integrated with the scheduler.
+//
+// At each sampling-period boundary, after the partitioner has placed the
+// memory-intensive VCPUs, this policy moves data *toward* the VCPUs: for
+// every memory-intensive VCPU whose registered regions are not already
+// concentrated on the node it now runs on, a bounded number of chunks is
+// migrated there.  Rate limiting matters: the paper's argument is exactly
+// that page migration is expensive while VCPU migration is cheap, so the
+// policy must amortise page moves across periods rather than bulk-copy.
+#pragma once
+
+#include "hv/hypervisor.hpp"
+#include "numa/page_migration.hpp"
+
+namespace vprobe::core {
+
+class PagePolicy {
+ public:
+  struct Options {
+    numa::PageMigrator::Config migrator;
+    /// Only memory-intensive VCPUs are worth moving data for.
+    bool memory_intensive_only = true;
+    /// Cap on chunks moved per period across the whole machine.
+    int machine_budget_per_period = 64;
+  };
+
+  struct Result {
+    int vcpus_considered = 0;
+    int chunks_moved = 0;
+    sim::Time cost;
+  };
+
+  PagePolicy() = default;
+  explicit PagePolicy(Options options)
+      : options_(options), migrator_(options.migrator) {}
+
+  /// Run one rebalancing pass.  The caller charges `Result::cost`.
+  Result run(hv::Hypervisor& hv) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_{};
+  numa::PageMigrator migrator_{};
+};
+
+}  // namespace vprobe::core

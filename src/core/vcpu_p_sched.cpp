@@ -1,0 +1,2 @@
+// VcpuPScheduler is header-only; this TU anchors it in the core library.
+#include "core/vcpu_p_sched.hpp"

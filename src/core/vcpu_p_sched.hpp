@@ -1,0 +1,25 @@
+// VCPU-P: the paper's first ablation — VCPU periodical partitioning only,
+// with Credit's NUMA-oblivious idle stealing left in place (Section V-A2).
+#pragma once
+
+#include "core/vprobe_sched.hpp"
+
+namespace vprobe::core {
+
+class VcpuPScheduler : public VprobeScheduler {
+ public:
+  VcpuPScheduler() : VprobeScheduler(make_options({})) {}
+  explicit VcpuPScheduler(Options options)
+      : VprobeScheduler(make_options(options)) {}
+
+  const char* name() const override { return "VCPU-P"; }
+
+ private:
+  static Options make_options(Options options) {
+    options.enable_partitioning = true;
+    options.enable_numa_balance = false;
+    return options;
+  }
+};
+
+}  // namespace vprobe::core

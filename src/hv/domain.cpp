@@ -1,0 +1,2 @@
+// Domain is header-only; this TU anchors the hv library build graph.
+#include "hv/domain.hpp"

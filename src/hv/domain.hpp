@@ -1,0 +1,60 @@
+// A guest domain (VM): a named set of VCPUs plus its guest-physical memory.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hv/vcpu.hpp"
+#include "numa/vm_memory.hpp"
+
+namespace vprobe::hv {
+
+class Domain {
+ public:
+  Domain(int id, std::string name, std::unique_ptr<numa::VmMemory> memory)
+      : id_(id), name_(std::move(name)), memory_(std::move(memory)) {}
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Credit-scheduler weight (Xen default 256).  Each domain receives a
+  /// weight-proportional slice of the machine's credits, split among its
+  /// active VCPUs.
+  int weight = 256;
+
+  numa::VmMemory& memory() { return *memory_; }
+  const numa::VmMemory& memory() const { return *memory_; }
+
+  Vcpu& add_vcpu(int global_id) {
+    vcpus_.push_back(std::make_unique<Vcpu>(
+        global_id, this, static_cast<int>(vcpus_.size())));
+    return *vcpus_.back();
+  }
+
+  std::size_t num_vcpus() const { return vcpus_.size(); }
+  Vcpu& vcpu(std::size_t i) { return *vcpus_.at(i); }
+  const Vcpu& vcpu(std::size_t i) const { return *vcpus_.at(i); }
+
+  /// Aggregated PMU counters across the domain's VCPUs.
+  pmu::CounterSet total_counters() const {
+    pmu::CounterSet total;
+    for (const auto& v : vcpus_) total += v->pmu.cumulative();
+    return total;
+  }
+
+ private:
+  int id_;
+  std::string name_;
+  std::unique_ptr<numa::VmMemory> memory_;
+  std::vector<std::unique_ptr<Vcpu>> vcpus_;
+};
+
+inline std::string Vcpu::name() const {
+  return domain_->name() + ".v" + std::to_string(index_in_domain_);
+}
+
+}  // namespace vprobe::hv

@@ -1,0 +1,374 @@
+#include "hv/hypervisor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace vprobe::hv {
+
+const char* to_string(OverheadBucket bucket) {
+  switch (bucket) {
+    case OverheadBucket::kPmuCollection: return "pmu-collection";
+    case OverheadBucket::kPartitioning:  return "partitioning";
+    case OverheadBucket::kBalancing:     return "balancing";
+    case OverheadBucket::kLockWait:      return "lock-wait";
+    case OverheadBucket::kContextSwitch: return "context-switch";
+    case OverheadBucket::kCount:         break;
+  }
+  return "?";
+}
+
+Hypervisor::Hypervisor(Config config, std::unique_ptr<Scheduler> scheduler)
+    : config_(config),
+      rng_(config.seed),
+      topology_(config.machine),
+      memory_manager_(config.machine),
+      machine_state_(config.machine),
+      cost_model_(config_.machine, machine_state_),
+      scheduler_(std::move(scheduler)) {
+  if (!scheduler_) throw std::invalid_argument("Hypervisor: scheduler is null");
+  pcpus_.resize(static_cast<std::size_t>(topology_.num_pcpus()));
+  for (int p = 0; p < topology_.num_pcpus(); ++p) {
+    pcpus_[static_cast<std::size_t>(p)].id = p;
+    pcpus_[static_cast<std::size_t>(p)].node = topology_.node_of(p);
+  }
+  scheduler_->attach(*this);
+}
+
+Hypervisor::~Hypervisor() {
+  // Events may hold references into pcpus/domains; drop them first.
+  engine_.clear();
+}
+
+Domain& Hypervisor::create_domain(const std::string& name,
+                                  std::int64_t mem_bytes, int num_vcpus,
+                                  numa::PlacementPolicy policy,
+                                  numa::NodeId preferred_node) {
+  if (num_vcpus < 1) throw std::invalid_argument("create_domain: num_vcpus < 1");
+  auto memory = std::make_unique<numa::VmMemory>(
+      memory_manager_, config_.machine, mem_bytes, policy, preferred_node);
+  domains_.push_back(
+      std::make_unique<Domain>(next_domain_id_++, name, std::move(memory)));
+  Domain& dom = *domains_.back();
+  // Boot placement mirrors Xen 4.0.1: VCPUs land round-robin over ALL
+  // PCPUs with no regard for where the domain's memory was allocated — the
+  // NUMA-obliviousness Section II-B blames for Figure 1.  The per-domain
+  // offset is random: where a real domain's VCPUs come up depends on what
+  // dom0 and earlier domains were doing at boot.
+  const auto boot_base =
+      static_cast<int>(rng_.uniform_int(0, topology_.num_pcpus() - 1));
+  for (int i = 0; i < num_vcpus; ++i) {
+    Vcpu& v = dom.add_vcpu(static_cast<int>(all_vcpus_.size()));
+    v.pcpu = static_cast<numa::PcpuId>((boot_base + i) % topology_.num_pcpus());
+    all_vcpus_.push_back(&v);
+    scheduler_->vcpu_created(v);
+  }
+  (void)preferred_node;  // only steers the memory placement policy
+  return dom;
+}
+
+void Hypervisor::start() {
+  // Per-PCPU tick timers with staggered phases, like Xen's per-CPU
+  // periodic timers.  The stagger matters: synchronized ticks would flip
+  // every VCPU's credit priority in lockstep and the fairness steal
+  // (UNDER work pulled toward OVER heads) would never find asymmetry.
+  for (auto& p : pcpus_) {
+    Pcpu* pp = &p;
+    const sim::Time phase =
+        (config_.tick_period * pp->id) / static_cast<std::int64_t>(pcpus_.size());
+    engine_.schedule(phase, [this, pp] {
+      on_tick(*pp);
+      tick_timer_ = engine_.schedule_periodic(config_.tick_period,
+                                              [this, pp] { on_tick(*pp); });
+    });
+  }
+  accounting_timer_ =
+      engine_.schedule_periodic(config_.accounting_period, [this] { on_accounting(); });
+}
+
+void Hypervisor::on_tick(Pcpu& p) {
+  scheduler_->tick(p);
+  if (p.busy()) {
+    // Preempt when a queued VCPU now outranks the running one (e.g. the
+    // running VCPU just went OVER, or a BOOST is waiting).
+    const Vcpu* head = p.queue.front();
+    if (head != nullptr &&
+        static_cast<int>(head->priority) < static_cast<int>(p.current->priority)) {
+      request_preempt(p);
+    }
+  } else {
+    poke(p);  // idle PCPUs periodically retry stealing, like Xen's ticker
+  }
+}
+
+void Hypervisor::on_accounting() { scheduler_->accounting(); }
+
+void Hypervisor::wake(Vcpu& vcpu) {
+  if (vcpu.state != VcpuState::kBlocked) return;
+  // A VCPU pinned after it last ran must wake inside its mask.
+  if (!vcpu.allowed_on(vcpu.pcpu)) {
+    for (int p = 0; p < topology_.num_pcpus(); ++p) {
+      if (vcpu.allowed_on(p)) {
+        vcpu.pcpu = static_cast<numa::PcpuId>(p);
+        break;
+      }
+    }
+  }
+  vcpu.state = VcpuState::kRunnable;
+  ++vcpu.wakeups;
+  emit(trace::EventKind::kWake, vcpu.id(), vcpu.pcpu);
+  scheduler_->vcpu_wake(vcpu);
+  tickle_after_wake(vcpu);
+}
+
+void Hypervisor::tickle_after_wake(Vcpu& vcpu) {
+  Pcpu& target = pcpu(vcpu.pcpu);
+  if (target.idle()) {
+    poke(target);
+  } else if (static_cast<int>(vcpu.priority) <
+             static_cast<int>(target.current->priority)) {
+    request_preempt(target);
+  }
+  // Idle peers may steal the new arrival (Xen tickles the idler mask).
+  // Pokes are queued local-node first: the tickle IPI to a same-socket
+  // idler lands and reschedules before a cross-socket one, so local idlers
+  // win the race for the new arrival on real hardware too.
+  for (auto& p : pcpus_) {
+    if (p.idle() && p.id != target.id && p.node == target.node) poke(p);
+  }
+  for (auto& p : pcpus_) {
+    if (p.idle() && p.id != target.id && p.node != target.node) poke(p);
+  }
+}
+
+void Hypervisor::poke(Pcpu& p) {
+  if (p.poke_pending) return;
+  p.poke_pending = true;
+  engine_.schedule(sim::Time::zero(), [this, &p] {
+    p.poke_pending = false;
+    if (p.idle()) schedule_pcpu(p);
+  });
+}
+
+void Hypervisor::request_preempt(Pcpu& p) {
+  if (!p.busy()) return;
+  engine_.schedule(sim::Time::zero(), [this, &p] {
+    if (p.busy()) end_segment(p, /*force_requeue=*/true);
+  });
+}
+
+void Hypervisor::charge_overhead(OverheadBucket bucket, sim::Time cost,
+                                 Pcpu* where) {
+  ledger_.record(bucket, cost);
+  if (where != nullptr) where->pending_stall += cost;
+}
+
+Pcpu& Hypervisor::least_loaded_pcpu(numa::NodeId node) {
+  Pcpu* best = nullptr;
+  int best_load = 0;
+  for (numa::PcpuId pid : topology_.pcpus_of(node)) {
+    Pcpu& p = pcpu(pid);
+    const int load = p.workload() + (p.busy() ? 1 : 0);
+    if (best == nullptr || load < best_load) {
+      best = &p;
+      best_load = load;
+    }
+  }
+  assert(best != nullptr);
+  return *best;
+}
+
+void Hypervisor::migrate_to_node(Vcpu& vcpu, numa::NodeId node) {
+  if (!topology_.valid_node(node)) {
+    throw std::invalid_argument("migrate_to_node: bad node");
+  }
+  // Hard affinity: pick the least-loaded *allowed* PCPU; a fully pinned
+  // VCPU simply cannot be moved off its mask.
+  Pcpu* target_ptr = nullptr;
+  int target_load = 0;
+  for (numa::PcpuId pid : topology_.pcpus_of(node)) {
+    if (!vcpu.allowed_on(pid)) continue;
+    Pcpu& p = pcpu(pid);
+    const int load = p.workload() + (p.busy() ? 1 : 0);
+    if (target_ptr == nullptr || load < target_load) {
+      target_ptr = &p;
+      target_load = load;
+    }
+  }
+  if (target_ptr == nullptr) return;  // no allowed PCPU on that node
+  Pcpu& target = *target_ptr;
+  switch (vcpu.state) {
+    case VcpuState::kRunning: {
+      Pcpu& host = pcpu(vcpu.pcpu);
+      vcpu.pcpu = target.id;  // requeue_preempted() will use this
+      request_preempt(host);
+      break;
+    }
+    case VcpuState::kRunnable: {
+      if (vcpu.in_runqueue) {
+        pcpu(vcpu.pcpu).queue.remove(vcpu);
+      }
+      vcpu.pcpu = target.id;
+      target.queue.insert(vcpu);
+      if (target.idle()) poke(target);
+      break;
+    }
+    case VcpuState::kBlocked:
+    case VcpuState::kDone:
+      vcpu.pcpu = target.id;  // it will wake there
+      break;
+  }
+}
+
+void Hypervisor::schedule_pcpu(Pcpu& p) {
+  if (p.busy()) return;
+  Decision d = scheduler_->do_schedule(p);
+  if (d.vcpu == nullptr) {
+    p.idle_since = engine_.now();
+    return;
+  }
+  assert(d.vcpu->state == VcpuState::kRunnable);
+  assert(!d.vcpu->in_runqueue);
+  start_running(p, *d.vcpu, d.slice > sim::Time::zero() ? d.slice : config_.slice);
+}
+
+void Hypervisor::start_running(Pcpu& p, Vcpu& v, sim::Time slice) {
+  // Migration bookkeeping: compare against where the VCPU last *ran*.
+  if (v.last_ran_pcpu != numa::kInvalidPcpu && v.last_ran_pcpu != p.id) {
+    const bool cross = topology_.node_of(v.last_ran_pcpu) != p.node;
+    v.warmth.on_migration(cross);
+    ++v.migrations;
+    if (cross) ++v.cross_node_migrations;
+    emit(trace::EventKind::kMigration, v.id(), p.id, v.last_ran_pcpu);
+    VPROBE_DEBUG("hv", "%s migrated pcpu %d -> %d%s", v.name().c_str(),
+                 v.last_ran_pcpu, p.id, cross ? " (cross-node)" : "");
+  }
+  emit(trace::EventKind::kSwitchIn, v.id(), p.id);
+  v.pcpu = p.id;
+  v.last_ran_pcpu = p.id;
+  v.state = VcpuState::kRunning;
+  p.current = &v;
+  ++p.context_switches;
+  charge_overhead(OverheadBucket::kContextSwitch, config_.context_switch_cost, &p);
+  // Perfctr-Xen: a running VCPU's counters are saved/restored around each
+  // context switch (Section IV-B).
+  v.pmu.record_save_restore();
+  charge_overhead(OverheadBucket::kPmuCollection, config_.pmu_save_restore_cost, &p);
+  p.slice_end = engine_.now() + slice;
+  start_segment(p);
+}
+
+void Hypervisor::start_segment(Pcpu& p) {
+  Vcpu& v = *p.current;
+  assert(v.work() != nullptr && "VCPU scheduled without bound work");
+  const sim::Time now = engine_.now();
+
+  BurstPlan plan = v.work()->next_burst(now);
+  // Stabilise the node-fraction span: copy into the PCPU-owned buffer so
+  // placement changes mid-segment cannot invalidate it.
+  p.frac_copy.fill(0.0);
+  const auto& frac = plan.profile.node_fractions;
+  const std::size_t n =
+      std::min(frac.size(), p.frac_copy.size());
+  std::copy_n(frac.begin(), n, p.frac_copy.begin());
+  plan.profile.node_fractions =
+      std::span<const double>(p.frac_copy.data(), p.frac_copy.size());
+  p.burst = plan;
+
+  machine_state_.occupant_in(p.node, static_cast<std::uint64_t>(v.id()),
+                             plan.profile.working_set_bytes);
+
+  const double nspi = cost_model_.ns_per_instr(
+      plan.profile, p.node, v.warmth.extra_miss_rate(), now);
+  const double burst_ns = plan.instructions * nspi;
+  sim::Time seg_end = now + p.pending_stall +
+                      sim::Time::ns(static_cast<std::int64_t>(
+                          std::min(burst_ns, 9.0e15) + 1.0));
+  if (seg_end > p.slice_end) seg_end = p.slice_end;
+  if (seg_end <= now) seg_end = now + sim::Time::ns(1);
+
+  p.segment_start = now;
+  p.segment_event = engine_.schedule_at(
+      seg_end, [this, &p] { end_segment(p, /*force_requeue=*/false); });
+}
+
+void Hypervisor::end_segment(Pcpu& p, bool force_requeue) {
+  Vcpu& v = *p.current;
+  p.segment_event.cancel();
+  const sim::Time now = engine_.now();
+  const sim::Time elapsed = now - p.segment_start;
+
+  // Hypervisor stalls eat into guest execution time.
+  const sim::Time stall_used = std::min(p.pending_stall, elapsed);
+  p.pending_stall -= stall_used;
+  const sim::Time work_time = elapsed - stall_used;
+
+  perf::ExecResult res = cost_model_.run(
+      p.burst.profile, p.node, v.warmth.extra_miss_rate(),
+      p.burst.instructions, work_time, p.segment_start);
+  v.pmu.add(res.counters);
+  v.warmth.on_executed(res.instructions);
+  v.cpu_time += res.elapsed;
+  p.busy_time += elapsed;
+
+  machine_state_.occupant_out(p.node, static_cast<std::uint64_t>(v.id()));
+
+  Outcome out = v.work()->advance(res.instructions, now);
+
+  // Same VCPU keeps the CPU: more work, slice not expired, not preempted.
+  if (out.kind == OutcomeKind::kContinue && !force_requeue &&
+      now < p.slice_end) {
+    start_segment(p);
+    return;
+  }
+
+  p.current = nullptr;
+  emit(trace::EventKind::kSwitchOut, v.id(), p.id, force_requeue ? 1 : 0);
+  switch (out.kind) {
+    case OutcomeKind::kContinue:
+      v.state = VcpuState::kRunnable;
+      scheduler_->requeue_preempted(v);
+      break;
+    case OutcomeKind::kBlockTimed: {
+      v.state = VcpuState::kBlocked;
+      scheduler_->vcpu_sleep(v);
+      emit(trace::EventKind::kBlock, v.id(), p.id);
+      Vcpu* vp = &v;
+      engine_.schedule(out.wake_after, [this, vp] { wake(*vp); });
+      break;
+    }
+    case OutcomeKind::kBlockUntilWake:
+      v.state = VcpuState::kBlocked;
+      scheduler_->vcpu_sleep(v);
+      emit(trace::EventKind::kBlock, v.id(), p.id);
+      break;
+    case OutcomeKind::kFinished:
+      v.state = VcpuState::kDone;
+      scheduler_->vcpu_sleep(v);
+      emit(trace::EventKind::kFinish, v.id(), p.id);
+      break;
+  }
+  schedule_pcpu(p);
+}
+
+sim::Time Hypervisor::total_busy_time() const {
+  sim::Time t = sim::Time::zero();
+  for (const auto& p : pcpus_) t += p.busy_time;
+  return t;
+}
+
+std::uint64_t Hypervisor::total_migrations() const {
+  std::uint64_t n = 0;
+  for (const Vcpu* v : all_vcpus_) n += v->migrations;
+  return n;
+}
+
+std::uint64_t Hypervisor::total_cross_node_migrations() const {
+  std::uint64_t n = 0;
+  for (const Vcpu* v : all_vcpus_) n += v->cross_node_migrations;
+  return n;
+}
+
+}  // namespace vprobe::hv

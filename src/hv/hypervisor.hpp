@@ -1,0 +1,175 @@
+// The hypervisor simulator.
+//
+// Owns the machine (topology, memory, contention state, cost model), the
+// domains and their VCPUs, and one pluggable Scheduler.  It drives the
+// mechanics every scheduler shares: slice timing, context switches, burst
+// execution through the cost model, blocking/waking, periodic ticks and
+// accounting, migration bookkeeping (cache-warmth penalties), and the
+// overhead ledger.
+//
+// Execution model: when a PCPU picks a VCPU it runs the VCPU's current burst
+// in *segments*.  A segment ends at the earliest of burst completion
+// (estimated with a rate snapshot), slice expiry, or preemption; at that
+// point the actual elapsed wall time is converted back into retired
+// instructions and PMU counters through the cost model.  Contention changes
+// therefore apply with at most one segment of lag, and no event is ever
+// rewound.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hv/domain.hpp"
+#include "hv/memory_map.hpp"
+#include "hv/overhead.hpp"
+#include "hv/pcpu.hpp"
+#include "hv/scheduler.hpp"
+#include "numa/machine_config.hpp"
+#include "numa/topology.hpp"
+#include "numa/vm_memory.hpp"
+#include "perf/contention.hpp"
+#include "perf/cost_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "trace/tracer.hpp"
+
+namespace vprobe::hv {
+
+class Hypervisor {
+ public:
+  struct Config {
+    numa::MachineConfig machine = numa::MachineConfig::xeon_e5620();
+    sim::Time tick_period = sim::Time::ms(10);        ///< Xen csched tick
+    sim::Time accounting_period = sim::Time::ms(30);  ///< Xen csched acct
+    sim::Time slice = sim::Time::ms(30);              ///< Credit timeslice
+    sim::Time context_switch_cost = sim::Time::us(2);
+    /// Perfctr-Xen counter save/restore cost, charged per context switch
+    /// (Section IV-B: counters are updated before each VCPU switch).
+    sim::Time pmu_save_restore_cost = sim::Time::ns(400);
+    std::uint64_t seed = 1;
+  };
+
+  Hypervisor(Config config, std::unique_ptr<Scheduler> scheduler);
+  ~Hypervisor();
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  // -- Setup -----------------------------------------------------------------
+
+  /// Create a domain with `mem_bytes` of guest memory placed per `policy`.
+  /// VCPUs start Blocked; bind work and wake them to begin execution.
+  Domain& create_domain(const std::string& name, std::int64_t mem_bytes,
+                        int num_vcpus, numa::PlacementPolicy policy,
+                        numa::NodeId preferred_node = 0);
+
+  /// Bind a guest thread to a VCPU (non-owning).
+  void bind_work(Vcpu& vcpu, VcpuWork& work) { vcpu.bind_work(&work); }
+
+  /// Arm the periodic tick/accounting timers.  Call once before running.
+  void start();
+
+  // -- Runtime services -------------------------------------------------------
+
+  /// Make a blocked VCPU runnable (guest event: request arrival, barrier
+  /// release, timer).  No-op if it is already runnable/running/done.
+  void wake(Vcpu& vcpu);
+
+  /// Move `vcpu` to the least-loaded PCPU of `node` (the partitioner's
+  /// migrate()).  Works in any VCPU state; a running VCPU is preempted.
+  void migrate_to_node(Vcpu& vcpu, numa::NodeId node);
+
+  /// Ask `pcpu` to re-run scheduling as soon as the current event completes
+  /// (used after enqueuing work an idle PCPU could take).
+  void poke(Pcpu& pcpu);
+
+  /// Force `pcpu` to deschedule its current VCPU (asynchronously, at the
+  /// current simulated time).
+  void request_preempt(Pcpu& pcpu);
+
+  /// Charge hypervisor overhead: recorded in the ledger and, when `where`
+  /// is given, stalls that PCPU's guest execution by `cost`.
+  void charge_overhead(OverheadBucket bucket, sim::Time cost,
+                       Pcpu* where = nullptr);
+
+  // -- Introspection -----------------------------------------------------------
+
+  sim::Engine& engine() { return engine_; }
+  sim::Time now() const { return engine_.now(); }
+  sim::Rng& rng() { return rng_; }
+  const Config& config() const { return config_; }
+  const numa::Topology& topology() const { return topology_; }
+  numa::MemoryManager& memory_manager() { return memory_manager_; }
+  perf::MachineState& machine_state() { return machine_state_; }
+  perf::CostModel& cost_model() { return cost_model_; }
+  Scheduler& scheduler() { return *scheduler_; }
+
+  std::vector<Pcpu>& pcpus() { return pcpus_; }
+  Pcpu& pcpu(numa::PcpuId id) { return pcpus_.at(static_cast<std::size_t>(id)); }
+
+  std::span<const std::unique_ptr<Domain>> domains() const { return domains_; }
+  Domain& domain(std::size_t i) { return *domains_.at(i); }
+
+  /// Every VCPU on the machine, in global-id order.
+  std::span<Vcpu* const> all_vcpus() const { return all_vcpus_; }
+
+  const OverheadLedger& overhead() const { return ledger_; }
+  OverheadLedger& overhead() { return ledger_; }
+
+  /// Registry of which guest regions each VCPU's thread works on — consumed
+  /// by page-migration policies; populated by cooperating workloads.
+  MemoryMap& memory_map() { return memory_map_; }
+  const MemoryMap& memory_map() const { return memory_map_; }
+
+  /// Attach a tracer (nullptr detaches).  Non-owning; the tracer must
+  /// outlive the hypervisor or be detached first.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() { return tracer_; }
+
+  /// Emit a trace record when a tracer is attached (cheap no-op otherwise).
+  void emit(trace::EventKind kind, std::int32_t vcpu, std::int32_t pcpu,
+            std::int32_t aux = 0) {
+    if (tracer_ != nullptr) tracer_->record(engine_.now(), kind, vcpu, pcpu, aux);
+  }
+
+  /// Least-loaded PCPU (by the paper's `workload` counter, then by id) of a
+  /// node; used by the partitioner's migrate().
+  Pcpu& least_loaded_pcpu(numa::NodeId node);
+
+  /// Total guest busy time accumulated across PCPUs.
+  sim::Time total_busy_time() const;
+
+  /// Total migration counts across all VCPUs.
+  std::uint64_t total_migrations() const;
+  std::uint64_t total_cross_node_migrations() const;
+
+ private:
+  void schedule_pcpu(Pcpu& pcpu);
+  void start_running(Pcpu& pcpu, Vcpu& vcpu, sim::Time slice);
+  void start_segment(Pcpu& pcpu);
+  void end_segment(Pcpu& pcpu, bool force_requeue);
+  void tickle_after_wake(Vcpu& vcpu);
+  void on_tick(Pcpu& pcpu);
+  void on_accounting();
+
+  Config config_;
+  sim::Engine engine_;
+  sim::Rng rng_;
+  numa::Topology topology_;
+  numa::MemoryManager memory_manager_;
+  perf::MachineState machine_state_;
+  perf::CostModel cost_model_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<Pcpu> pcpus_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  std::vector<Vcpu*> all_vcpus_;
+  OverheadLedger ledger_;
+  MemoryMap memory_map_;
+  trace::Tracer* tracer_ = nullptr;
+  sim::EventHandle tick_timer_;
+  sim::EventHandle accounting_timer_;
+  int next_domain_id_ = 1;
+};
+
+}  // namespace vprobe::hv

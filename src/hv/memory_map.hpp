@@ -1,0 +1,46 @@
+// VCPU -> guest-memory-region registry.
+//
+// The hypervisor normally has no idea which guest-physical ranges a VCPU's
+// thread actually works on — that is the semantic gap.  Page-migration
+// policies need exactly that mapping, though: Xen-world implementations
+// recover it from access-bit scans or EPT faults.  The simulator shortcuts
+// the recovery: workloads register their regions when they bind, and the
+// registry hands a policy the same information the scans would produce.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "numa/vm_memory.hpp"
+
+namespace vprobe::hv {
+
+class MemoryMap {
+ public:
+  struct Entry {
+    numa::VmMemory* memory = nullptr;
+    std::vector<numa::Region> regions;
+  };
+
+  /// Register (or replace) the regions a VCPU's bound thread works on.
+  void register_vcpu(int vcpu_id, numa::VmMemory* memory,
+                     std::vector<numa::Region> regions) {
+    entries_[vcpu_id] = Entry{memory, std::move(regions)};
+  }
+
+  /// nullptr when the VCPU's workload never registered (policy then simply
+  /// skips it — exactly like a scan that found nothing).
+  const Entry* lookup(int vcpu_id) const {
+    auto it = entries_.find(vcpu_id);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  void unregister_vcpu(int vcpu_id) { entries_.erase(vcpu_id); }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<int, Entry> entries_;
+};
+
+}  // namespace vprobe::hv

@@ -1,0 +1,2 @@
+// Pcpu is a plain aggregate; this TU anchors it in the hv library.
+#include "hv/pcpu.hpp"

@@ -1,0 +1,33 @@
+#include "hv/vcpu.hpp"
+
+namespace vprobe::hv {
+
+const char* to_string(VcpuState s) {
+  switch (s) {
+    case VcpuState::kRunnable: return "runnable";
+    case VcpuState::kRunning:  return "running";
+    case VcpuState::kBlocked:  return "blocked";
+    case VcpuState::kDone:     return "done";
+  }
+  return "?";
+}
+
+const char* to_string(CreditPrio p) {
+  switch (p) {
+    case CreditPrio::kBoost: return "BOOST";
+    case CreditPrio::kUnder: return "UNDER";
+    case CreditPrio::kOver:  return "OVER";
+  }
+  return "?";
+}
+
+const char* to_string(VcpuType t) {
+  switch (t) {
+    case VcpuType::kLlcFriendly:  return "LLC-FR";
+    case VcpuType::kLlcFitting:   return "LLC-FI";
+    case VcpuType::kLlcThrashing: return "LLC-T";
+  }
+  return "?";
+}
+
+}  // namespace vprobe::hv

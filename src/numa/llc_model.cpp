@@ -1,0 +1,37 @@
+#include "numa/llc_model.hpp"
+
+#include <algorithm>
+
+namespace vprobe::numa {
+
+void LlcModel::set_demand(std::uint64_t occupant, double demand_bytes) {
+  auto [it, inserted] = demand_.try_emplace(occupant, demand_bytes);
+  if (inserted) {
+    total_demand_ += demand_bytes;
+  } else {
+    total_demand_ += demand_bytes - it->second;
+    it->second = demand_bytes;
+  }
+  // Guard against drift from repeated add/remove of large doubles.
+  if (total_demand_ < 0.0) total_demand_ = 0.0;
+}
+
+void LlcModel::remove(std::uint64_t occupant) {
+  auto it = demand_.find(occupant);
+  if (it == demand_.end()) return;
+  total_demand_ -= it->second;
+  if (total_demand_ < 0.0) total_demand_ = 0.0;
+  demand_.erase(it);
+}
+
+double LlcModel::overcommit() const {
+  if (total_demand_ <= capacity_ || total_demand_ <= 0.0) return 0.0;
+  return (total_demand_ - capacity_) / total_demand_;
+}
+
+double LlcModel::miss_rate(double solo_miss, double sensitivity) const {
+  const double m = solo_miss + sensitivity * overcommit();
+  return std::clamp(m, 0.0, 1.0);
+}
+
+}  // namespace vprobe::numa

@@ -1,0 +1,57 @@
+// Shared last-level cache contention model.
+//
+// Each NUMA node owns one LlcModel.  VCPUs currently executing on the node
+// register their cache demand (working-set bytes); the model turns the
+// aggregate demand into a per-VCPU miss rate:
+//
+//   miss = clamp(solo_miss + sensitivity * overcommit, 0, 1)
+//   overcommit = max(0, (sum of demands - capacity) / sum of demands)
+//
+// This captures the paper's three application classes: LLC-thrashing apps
+// have a high solo miss rate regardless of co-runners; LLC-fitting apps have
+// a low solo miss rate but high sensitivity (their misses explode under
+// contention); LLC-friendly apps barely reference the cache at all, so their
+// miss rate is irrelevant to their performance.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "numa/machine_config.hpp"
+
+namespace vprobe::numa {
+
+class LlcModel {
+ public:
+  explicit LlcModel(std::int64_t capacity_bytes)
+      : capacity_(static_cast<double>(capacity_bytes)) {}
+
+  /// Register (or update) the cache demand of an occupant, keyed by an
+  /// opaque id (the VCPU's global id).  Demand is working-set bytes.
+  void set_demand(std::uint64_t occupant, double demand_bytes);
+
+  /// Remove an occupant (VCPU descheduled or migrated off-node).
+  void remove(std::uint64_t occupant);
+
+  /// Fraction of aggregate demand that does not fit: in [0, 1).
+  double overcommit() const;
+
+  /// Aggregate demand over capacity; >1 means the cache is oversubscribed.
+  /// This is the "LLC contention" signal the experiments report.
+  double pressure() const { return total_demand_ / capacity_; }
+
+  /// Effective miss rate for an occupant with the given solo miss rate and
+  /// contention sensitivity.
+  double miss_rate(double solo_miss, double sensitivity) const;
+
+  double capacity_bytes() const { return capacity_; }
+  double total_demand_bytes() const { return total_demand_; }
+  int occupants() const { return static_cast<int>(demand_.size()); }
+
+ private:
+  double capacity_;
+  double total_demand_ = 0.0;
+  std::unordered_map<std::uint64_t, double> demand_;
+};
+
+}  // namespace vprobe::numa

@@ -1,0 +1,64 @@
+#include "numa/machine_config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vprobe::numa {
+
+void MachineConfig::validate() const {
+  auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("MachineConfig: ") + what);
+  };
+  if (num_nodes < 1) fail("num_nodes must be >= 1");
+  if (cores_per_node < 1) fail("cores_per_node must be >= 1");
+  if (clock_ghz <= 0) fail("clock_ghz must be positive");
+  if (llc_bytes <= 0) fail("llc_bytes must be positive");
+  if (mem_bytes_per_node <= 0) fail("mem_bytes_per_node must be positive");
+  if (imc_bandwidth_bytes_per_s <= 0) fail("imc bandwidth must be positive");
+  if (local_mem_latency_ns <= 0) fail("local_mem_latency_ns must be positive");
+  if (cache_line_bytes <= 0) fail("cache_line_bytes must be positive");
+  if (chunk_bytes <= 0 || chunk_bytes % page_bytes != 0) {
+    fail("chunk_bytes must be a positive multiple of page_bytes");
+  }
+  if (mem_bytes_per_node % chunk_bytes != 0) {
+    fail("mem_bytes_per_node must be a multiple of chunk_bytes");
+  }
+  if (base_cpi <= 0) fail("base_cpi must be positive");
+  if (qpi_links < 1 && num_nodes > 1) fail("qpi_links must be >= 1");
+}
+
+std::string MachineConfig::summary() const {
+  std::ostringstream os;
+  os << "NUMA machine: " << num_nodes << " node(s) x " << cores_per_node
+     << " core(s) @ " << clock_ghz << " GHz\n"
+     << "  LLC: " << (llc_bytes >> 20) << " MB shared per node ("
+     << llc_hit_cycles << "-cycle hit)\n"
+     << "  Memory: " << (mem_bytes_per_node >> 30) << " GB per node, IMC "
+     << imc_bandwidth_bytes_per_s / 1e9 << " GB/s, local latency "
+     << local_mem_latency_ns << " ns\n"
+     << "  Interconnect: " << qpi_links << " link(s) @ " << qpi_gt_per_s
+     << " GT/s, remote extra latency " << remote_extra_latency_ns << " ns";
+  return os.str();
+}
+
+MachineConfig MachineConfig::xeon_e5620() {
+  MachineConfig cfg;  // defaults already encode Table I
+  cfg.validate();
+  return cfg;
+}
+
+MachineConfig MachineConfig::four_node_server() {
+  MachineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.cores_per_node = 8;
+  cfg.clock_ghz = 2.6;
+  cfg.llc_bytes = 20ll * 1024 * 1024;
+  cfg.mem_bytes_per_node = 32ll * 1024 * 1024 * 1024;
+  cfg.imc_bandwidth_bytes_per_s = 59.7e9;
+  cfg.qpi_links = 3;
+  cfg.qpi_gt_per_s = 8.0;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace vprobe::numa

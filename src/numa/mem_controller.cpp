@@ -1,0 +1,13 @@
+#include "numa/mem_controller.hpp"
+
+#include <algorithm>
+
+namespace vprobe::numa {
+
+double MemController::latency_factor(sim::Time now) const {
+  const double rho = std::min(utilization(now), rho_max_);
+  const double factor = 1.0 / (1.0 - rho);
+  return std::min(factor, max_factor_);
+}
+
+}  // namespace vprobe::numa

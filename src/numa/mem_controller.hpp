@@ -1,0 +1,57 @@
+// Integrated memory controller (IMC) model.
+//
+// Each node's IMC has a finite bandwidth (25.6 GB/s on the paper's Xeon
+// E5620).  The model tracks the smoothed byte rate flowing through the
+// controller and converts utilisation into a queueing delay factor applied
+// to every DRAM access served by this node:
+//
+//   factor(rho) = 1 / (1 - min(rho, rho_max))        (M/M/1-style)
+//
+// clamped so a saturated controller stretches latency by at most
+// `max_factor`.  This reproduces the paper's "memory controller contention"
+// performance-degrading factor.
+#pragma once
+
+#include "numa/rate_tracker.hpp"
+#include "sim/time.hpp"
+
+namespace vprobe::numa {
+
+class MemController {
+ public:
+  explicit MemController(double bandwidth_bytes_per_s,
+                         sim::Time smoothing = sim::Time::ms(10))
+      : bandwidth_(bandwidth_bytes_per_s), tracker_(smoothing) {}
+
+  /// Record traffic of `bytes` served over `duration` ending at `now`.
+  void record_traffic(double bytes, sim::Time now, sim::Time duration) {
+    tracker_.record(bytes, now, duration);
+    total_bytes_ += bytes;
+  }
+
+  /// Utilisation in [0, ~): smoothed rate over bandwidth.
+  double utilization(sim::Time now) const {
+    return tracker_.rate(now) / bandwidth_;
+  }
+
+  /// Latency multiplier applied to DRAM accesses served by this controller.
+  double latency_factor(sim::Time now) const;
+
+  double bandwidth_bytes_per_s() const { return bandwidth_; }
+  double total_bytes() const { return total_bytes_; }
+
+  /// Tuning knobs (fixed defaults work for all experiments).
+  void set_limits(double rho_max, double max_factor) {
+    rho_max_ = rho_max;
+    max_factor_ = max_factor;
+  }
+
+ private:
+  double bandwidth_;
+  double rho_max_ = 0.95;
+  double max_factor_ = 8.0;
+  RateTracker tracker_;
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace vprobe::numa

@@ -1,0 +1,31 @@
+#include "numa/page_migration.hpp"
+
+namespace vprobe::numa {
+
+PageMigrator::Result PageMigrator::rebalance(VmMemory& memory,
+                                             const Region& region,
+                                             NodeId target) const {
+  Result result;
+  if (region.empty()) return result;
+  const auto& fractions = memory.node_fractions(region);
+  if (target < 0 || static_cast<std::size_t>(target) >= fractions.size()) {
+    return result;
+  }
+  if (fractions[static_cast<std::size_t>(target)] >= cfg_.satisfaction_threshold) {
+    return result;
+  }
+  for (std::int64_t c = region.first_chunk;
+       c < region.first_chunk + region.num_chunks &&
+       result.chunks_moved < cfg_.max_chunks_per_round;
+       ++c) {
+    const NodeId home = memory.chunk_home(c);
+    if (home == kInvalidNode || home == target) continue;
+    if (memory.migrate_chunk(c, target)) {
+      ++result.chunks_moved;
+      result.cost += cfg_.cost_per_chunk;
+    }
+  }
+  return result;
+}
+
+}  // namespace vprobe::numa

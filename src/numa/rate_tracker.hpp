@@ -1,0 +1,62 @@
+// Exponentially weighted rate tracker.
+//
+// The memory controller and interconnect models need a smooth estimate of
+// "bytes per second flowing through me right now".  Events report byte
+// counts at irregular simulated times; RateTracker maintains an EWMA rate
+// with a configurable time constant.  The decay is applied lazily at read
+// and record time, so idle components cost nothing.
+#pragma once
+
+#include <cmath>
+
+#include "sim/time.hpp"
+
+namespace vprobe::numa {
+
+class RateTracker {
+ public:
+  /// `time_constant` controls smoothing: contributions decay by 1/e per
+  /// time constant.  10 ms tracks scheduler-quantum-scale shifts well.
+  explicit RateTracker(sim::Time time_constant = sim::Time::ms(10))
+      : tau_s_(time_constant.to_seconds()) {}
+
+  /// Record `amount` (e.g. bytes) observed at `now`.  Each record is an
+  /// impulse that adds amount/tau to the decaying rate; for impulses
+  /// arriving with aggregate rate R (amount per second) the EWMA converges
+  /// to R.  Impulses are linear, so overlapping flows from several PCPUs
+  /// superpose correctly — which a duration-blended EWMA would not.
+  /// `duration` is accepted for caller convenience but does not change the
+  /// math (segment durations are far below the time constant).
+  void record(double amount, sim::Time now, sim::Time duration = sim::Time::zero()) {
+    (void)duration;
+    decay_to(now);
+    rate_ += amount / tau_s_;
+  }
+
+  /// Current smoothed rate (amount per second) as of `now`.
+  double rate(sim::Time now) const {
+    const double dt = (now - last_).to_seconds();
+    if (dt <= 0.0) return rate_;
+    return rate_ * std::exp(-dt / tau_s_);
+  }
+
+  void reset() {
+    rate_ = 0.0;
+    last_ = sim::Time::zero();
+  }
+
+ private:
+  void decay_to(sim::Time now) {
+    const double dt = (now - last_).to_seconds();
+    if (dt > 0.0) {
+      rate_ *= std::exp(-dt / tau_s_);
+      last_ = now;
+    }
+  }
+
+  double tau_s_;
+  double rate_ = 0.0;
+  sim::Time last_ = sim::Time::zero();
+};
+
+}  // namespace vprobe::numa

@@ -1,0 +1,187 @@
+#include "numa/vm_memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <new>
+#include <stdexcept>
+
+namespace vprobe::numa {
+
+const char* to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFillFirst:  return "fill-first";
+    case PlacementPolicy::kStriped:    return "striped";
+    case PlacementPolicy::kOnNode:     return "on-node";
+    case PlacementPolicy::kFirstTouch: return "first-touch";
+  }
+  return "?";
+}
+
+MemoryManager::MemoryManager(const MachineConfig& cfg) {
+  cfg.validate();
+  capacity_.assign(static_cast<std::size_t>(cfg.num_nodes), cfg.chunks_per_node());
+  free_ = capacity_;
+}
+
+std::int64_t MemoryManager::capacity_chunks(NodeId node) const {
+  return capacity_.at(static_cast<std::size_t>(node));
+}
+
+std::int64_t MemoryManager::free_chunks(NodeId node) const {
+  return free_.at(static_cast<std::size_t>(node));
+}
+
+std::int64_t MemoryManager::used_chunks(NodeId node) const {
+  return capacity_chunks(node) - free_chunks(node);
+}
+
+NodeId MemoryManager::reserve_chunk(NodeId preferred) {
+  if (preferred >= 0 && preferred < num_nodes() &&
+      free_[static_cast<std::size_t>(preferred)] > 0) {
+    --free_[static_cast<std::size_t>(preferred)];
+    return preferred;
+  }
+  // Overflow to the node with the most free memory.
+  NodeId best = kInvalidNode;
+  std::int64_t best_free = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (free_[static_cast<std::size_t>(n)] > best_free) {
+      best_free = free_[static_cast<std::size_t>(n)];
+      best = n;
+    }
+  }
+  if (best == kInvalidNode) throw std::bad_alloc{};
+  --free_[static_cast<std::size_t>(best)];
+  return best;
+}
+
+NodeId MemoryManager::reserve_chunk_fill_first() {
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (free_[static_cast<std::size_t>(n)] > 0) {
+      --free_[static_cast<std::size_t>(n)];
+      return n;
+    }
+  }
+  throw std::bad_alloc{};
+}
+
+void MemoryManager::release_chunk(NodeId node) {
+  assert(node >= 0 && node < num_nodes());
+  auto& f = free_[static_cast<std::size_t>(node)];
+  ++f;
+  assert(f <= capacity_[static_cast<std::size_t>(node)]);
+}
+
+VmMemory::VmMemory(MemoryManager& mm, const MachineConfig& cfg,
+                   std::int64_t bytes, PlacementPolicy policy, NodeId preferred)
+    : mm_(mm),
+      chunk_bytes_(cfg.chunk_bytes),
+      num_nodes_(cfg.num_nodes),
+      policy_(policy) {
+  if (bytes <= 0) throw std::invalid_argument("VmMemory: bytes must be positive");
+  const auto chunks = (bytes + chunk_bytes_ - 1) / chunk_bytes_;
+  home_.assign(static_cast<std::size_t>(chunks), kInvalidNode);
+  back_chunk_ = chunks;
+  switch (policy_) {
+    case PlacementPolicy::kFillFirst:
+      for (auto& h : home_) h = mm_.reserve_chunk_fill_first();
+      break;
+    case PlacementPolicy::kStriped: {
+      NodeId n = preferred;
+      for (auto& h : home_) {
+        h = mm_.reserve_chunk(n);
+        n = static_cast<NodeId>((n + 1) % num_nodes_);
+      }
+      break;
+    }
+    case PlacementPolicy::kOnNode:
+      for (auto& h : home_) h = mm_.reserve_chunk(preferred);
+      break;
+    case PlacementPolicy::kFirstTouch:
+      // Homes assigned lazily by touch(); physical reservation happens then.
+      break;
+  }
+  ++version_;
+}
+
+VmMemory::~VmMemory() {
+  for (NodeId h : home_) {
+    if (h != kInvalidNode) mm_.release_chunk(h);
+  }
+}
+
+Region VmMemory::alloc_region(std::int64_t bytes) {
+  if (bytes <= 0) throw std::invalid_argument("VmMemory: region bytes must be positive");
+  const auto chunks = std::max<std::int64_t>(1, (bytes + chunk_bytes_ - 1) / chunk_bytes_);
+  if (next_chunk_ + chunks > back_chunk_) throw std::bad_alloc{};
+  if (alternate_ && next_from_back_) {
+    next_from_back_ = false;
+    back_chunk_ -= chunks;
+    return Region{back_chunk_, chunks};
+  }
+  next_from_back_ = alternate_;
+  const Region r{next_chunk_, chunks};
+  next_chunk_ += chunks;
+  return r;
+}
+
+void VmMemory::touch(const Region& region, double fraction, NodeId node) {
+  assert(node >= 0 && node < num_nodes_);
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto limit = region.first_chunk +
+      static_cast<std::int64_t>(static_cast<double>(region.num_chunks) * fraction + 0.5);
+  bool changed = false;
+  for (std::int64_t c = region.first_chunk; c < limit; ++c) {
+    auto& h = home_[static_cast<std::size_t>(c)];
+    if (h == kInvalidNode) {
+      h = mm_.reserve_chunk(node);
+      changed = true;
+    }
+  }
+  if (changed) ++version_;
+}
+
+const std::vector<double>& VmMemory::node_fractions(const Region& region) const {
+  auto& entry = fraction_cache_[region.first_chunk];
+  if (entry.version == version_ &&
+      entry.fractions.size() == static_cast<std::size_t>(num_nodes_)) {
+    return entry.fractions;
+  }
+  entry.version = version_;
+  entry.fractions.assign(static_cast<std::size_t>(num_nodes_), 0.0);
+  std::int64_t homed = 0;
+  for (std::int64_t c = region.first_chunk;
+       c < region.first_chunk + region.num_chunks; ++c) {
+    const NodeId h = home_.at(static_cast<std::size_t>(c));
+    if (h == kInvalidNode) continue;
+    entry.fractions[static_cast<std::size_t>(h)] += 1.0;
+    ++homed;
+  }
+  if (homed > 0) {
+    for (auto& f : entry.fractions) f /= static_cast<double>(homed);
+  }
+  return entry.fractions;
+}
+
+bool VmMemory::migrate_chunk(std::int64_t chunk, NodeId to) {
+  assert(to >= 0 && to < num_nodes_);
+  auto& h = home_.at(static_cast<std::size_t>(chunk));
+  if (h == kInvalidNode || h == to) return false;
+  if (mm_.free_chunks(to) <= 0) return false;
+  mm_.release_chunk(h);
+  const NodeId landed = mm_.reserve_chunk(to);
+  assert(landed == to);
+  h = landed;
+  ++version_;
+  return true;
+}
+
+std::vector<std::int64_t> VmMemory::node_census() const {
+  std::vector<std::int64_t> census(static_cast<std::size_t>(num_nodes_), 0);
+  for (NodeId h : home_) {
+    if (h != kInvalidNode) ++census[static_cast<std::size_t>(h)];
+  }
+  return census;
+}
+
+}  // namespace vprobe::numa

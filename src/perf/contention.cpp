@@ -1,0 +1,16 @@
+#include "perf/contention.hpp"
+
+namespace vprobe::perf {
+
+MachineState::MachineState(const numa::MachineConfig& cfg)
+    : interconnect_(cfg) {
+  cfg.validate();
+  llcs_.reserve(static_cast<std::size_t>(cfg.num_nodes));
+  imcs_.reserve(static_cast<std::size_t>(cfg.num_nodes));
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    llcs_.emplace_back(cfg.llc_bytes);
+    imcs_.emplace_back(cfg.imc_bandwidth_bytes_per_s);
+  }
+}
+
+}  // namespace vprobe::perf

@@ -1,0 +1,2 @@
+// CacheWarmth is header-only; this TU anchors the perf library target.
+#include "perf/warmth.hpp"

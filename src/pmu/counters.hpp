@@ -1,0 +1,87 @@
+// Performance-counter vocabulary.
+//
+// These are the events the paper's PMU data analyzer consumes (Section
+// IV-B): retired instructions, LLC references, LLC misses, and the number of
+// local/remote memory accesses broken down by home node.  Counts are stored
+// as doubles: the execution model produces fractional expected counts per
+// quantum, and doubles hold exact integers up to 2^53 anyway.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "numa/topology.hpp"
+
+namespace vprobe::pmu {
+
+/// Upper bound on NUMA nodes supported by the fixed-size counter block.
+inline constexpr int kMaxNodes = 8;
+
+struct CounterSet {
+  double instr_retired = 0.0;
+  double llc_refs = 0.0;
+  double llc_misses = 0.0;
+  /// DRAM accesses whose home node differed from the node the VCPU was
+  /// running on when the access was issued (attributed at execution time —
+  /// the issuing node changes as the VCPU migrates).
+  double remote_accesses = 0.0;
+  /// DRAM accesses by home node of the data.
+  std::array<double, kMaxNodes> mem_accesses{};
+
+  double total_mem_accesses() const {
+    double total = 0.0;
+    for (double a : mem_accesses) total += a;
+    return total;
+  }
+
+  /// Accesses whose home node differs from `local`.
+  double remote_mem_accesses(numa::NodeId local) const {
+    double remote = 0.0;
+    for (int n = 0; n < kMaxNodes; ++n) {
+      if (n != local) remote += mem_accesses[static_cast<std::size_t>(n)];
+    }
+    return remote;
+  }
+
+  /// Node with the most accesses — Equation (1)'s arg-max.  Ties resolve to
+  /// the lowest id; returns kInvalidNode when no access was recorded.
+  numa::NodeId busiest_node() const {
+    numa::NodeId best = numa::kInvalidNode;
+    double best_count = 0.0;
+    for (int n = 0; n < kMaxNodes; ++n) {
+      const double c = mem_accesses[static_cast<std::size_t>(n)];
+      if (c > best_count) {
+        best_count = c;
+        best = n;
+      }
+    }
+    return best;
+  }
+
+  CounterSet& operator+=(const CounterSet& other) {
+    instr_retired += other.instr_retired;
+    llc_refs += other.llc_refs;
+    llc_misses += other.llc_misses;
+    remote_accesses += other.remote_accesses;
+    for (std::size_t n = 0; n < mem_accesses.size(); ++n) {
+      mem_accesses[n] += other.mem_accesses[n];
+    }
+    return *this;
+  }
+
+  friend CounterSet operator+(CounterSet a, const CounterSet& b) { return a += b; }
+
+  friend CounterSet operator-(const CounterSet& a, const CounterSet& b) {
+    CounterSet d;
+    d.instr_retired = a.instr_retired - b.instr_retired;
+    d.llc_refs = a.llc_refs - b.llc_refs;
+    d.llc_misses = a.llc_misses - b.llc_misses;
+    d.remote_accesses = a.remote_accesses - b.remote_accesses;
+    for (std::size_t n = 0; n < d.mem_accesses.size(); ++n) {
+      d.mem_accesses[n] = a.mem_accesses[n] - b.mem_accesses[n];
+    }
+    return d;
+  }
+};
+
+}  // namespace vprobe::pmu

@@ -1,0 +1,23 @@
+#include "pmu/sampler.hpp"
+
+#include <stdexcept>
+
+namespace vprobe::pmu {
+
+void Sampler::start(Callback on_period_end) {
+  if (period_ <= sim::Time::zero()) {
+    throw std::invalid_argument("Sampler: period must be positive");
+  }
+  callback_ = std::move(on_period_end);
+  started_ = true;
+  for (VcpuPmu* p : pmus_) p->begin_window();
+  timer_ = engine_.schedule_periodic(period_, [this] { on_tick(); });
+}
+
+void Sampler::on_tick() {
+  ++periods_;
+  if (callback_) callback_();
+  for (VcpuPmu* p : pmus_) p->begin_window();
+}
+
+}  // namespace vprobe::pmu

@@ -1,0 +1,54 @@
+// Periodic PMU sampling driver.
+//
+// Owns the sampling period (1 s in the paper, swept in Figure 8) and fires a
+// callback at every period boundary after rolling the counter windows of all
+// registered VCPUs.  The callback is where vProbe's analyzer + partitioner
+// run.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pmu/vcpu_pmu.hpp"
+#include "sim/engine.hpp"
+
+namespace vprobe::pmu {
+
+class Sampler {
+ public:
+  using Callback = std::function<void()>;
+
+  Sampler(sim::Engine& engine, sim::Time period) : engine_(engine), period_(period) {}
+  ~Sampler() { stop(); }
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Register a VCPU's counters.  May be called after start(); the new
+  /// window begins immediately so the first sample is not inflated by
+  /// pre-registration history.
+  void register_pmu(VcpuPmu* vcpu_pmu) {
+    pmus_.push_back(vcpu_pmu);
+    if (started_) vcpu_pmu->begin_window();
+  }
+
+  /// Begin sampling.  The callback observes each VcpuPmu's window_delta()
+  /// for the period that just ended; windows are rolled *after* it returns.
+  void start(Callback on_period_end);
+  void stop() { timer_.cancel(); }
+
+  sim::Time period() const { return period_; }
+  std::uint64_t periods_elapsed() const { return periods_; }
+
+ private:
+  void on_tick();
+
+  sim::Engine& engine_;
+  sim::Time period_;
+  std::vector<VcpuPmu*> pmus_;
+  Callback callback_;
+  sim::EventHandle timer_;
+  bool started_ = false;
+  std::uint64_t periods_ = 0;
+};
+
+}  // namespace vprobe::pmu

@@ -1,0 +1,4 @@
+// VcpuPmu is header-only today; this TU anchors the library target and hosts
+// no code.  (Kept so the pmu component owns at least one object file and the
+// build graph stays uniform.)
+#include "pmu/vcpu_pmu.hpp"

@@ -1,0 +1,47 @@
+#include "runner/cli.hpp"
+
+#include <cstdlib>
+
+namespace vprobe::runner {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        options_[arg.substr(2)] = "1";
+      } else {
+        options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+int Cli::get_int(const std::string& key, int fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback
+                              : static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
+}
+
+std::uint64_t Cli::get_u64(const std::string& key, std::uint64_t fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end()
+             ? fallback
+             : static_cast<std::uint64_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+}
+
+}  // namespace vprobe::runner

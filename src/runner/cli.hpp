@@ -1,0 +1,33 @@
+// Tiny command-line option reader for benches and examples.
+// Accepts "--key=value" and bare "--flag" arguments; anything else is
+// collected as a positional argument.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vprobe::runner {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& key) const { return options_.contains(key); }
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vprobe::runner

@@ -1,0 +1,283 @@
+#include "runner/scenario_file.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "workload/hungry.hpp"
+#include "workload/npb.hpp"
+#include "workload/os_ticker.hpp"
+#include "workload/spec.hpp"
+#include "workload/trace_app.hpp"
+
+namespace vprobe::runner {
+namespace {
+
+std::invalid_argument err(int line, const std::string& what) {
+  return std::invalid_argument("scenario line " + std::to_string(line) + ": " + what);
+}
+
+SchedKind parse_sched(const std::string& name, int line) {
+  if (name == "credit") return SchedKind::kCredit;
+  if (name == "vprobe") return SchedKind::kVprobe;
+  if (name == "vcpu_p") return SchedKind::kVcpuP;
+  if (name == "lb") return SchedKind::kLb;
+  if (name == "brm") return SchedKind::kBrm;
+  if (name == "autonuma") return SchedKind::kAutoNuma;
+  throw err(line, "unknown scheduler '" + name + "'");
+}
+
+numa::PlacementPolicy parse_policy(const std::string& name, int line) {
+  if (name == "fill_first") return numa::PlacementPolicy::kFillFirst;
+  if (name == "striped") return numa::PlacementPolicy::kStriped;
+  if (name == "on_node") return numa::PlacementPolicy::kOnNode;
+  if (name == "first_touch") return numa::PlacementPolicy::kFirstTouch;
+  throw err(line, "unknown placement policy '" + name + "'");
+}
+
+/// Split remaining words into key=value pairs.
+std::map<std::string, std::string> keyvals(std::istringstream& words, int line) {
+  std::map<std::string, std::string> out;
+  std::string word;
+  while (words >> word) {
+    const auto eq = word.find('=');
+    if (eq == std::string::npos) throw err(line, "expected key=value, got '" + word + "'");
+    out[word.substr(0, eq)] = word.substr(eq + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(std::string_view text) {
+  ScenarioSpec spec;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream words(line);
+    std::string head;
+    if (!(words >> head)) continue;
+
+    if (head == "machine") {
+      if (!(words >> spec.machine)) throw err(line_no, "machine needs a name");
+      if (spec.machine != "xeon_e5620" && spec.machine != "four_node") {
+        throw err(line_no, "unknown machine '" + spec.machine + "'");
+      }
+    } else if (head == "scheduler") {
+      std::string name;
+      if (!(words >> name)) throw err(line_no, "scheduler needs a name");
+      spec.sched = parse_sched(name, line_no);
+    } else if (head == "seed") {
+      if (!(words >> spec.seed)) throw err(line_no, "seed needs a number");
+    } else if (head == "scale") {
+      if (!(words >> spec.scale) || spec.scale <= 0) throw err(line_no, "bad scale");
+    } else if (head == "horizon") {
+      if (!(words >> spec.horizon_s) || spec.horizon_s <= 0) throw err(line_no, "bad horizon");
+    } else if (head == "sampling") {
+      if (!(words >> spec.sampling_s) || spec.sampling_s <= 0) throw err(line_no, "bad sampling");
+    } else if (head == "vm") {
+      ScenarioSpec::VmSpec vm;
+      for (const auto& [k, v] : keyvals(words, line_no)) {
+        if (k == "name") {
+          vm.name = v;
+        } else if (k == "mem") {
+          vm.mem_bytes = static_cast<std::int64_t>(wl::parse_scaled(v));
+        } else if (k == "vcpus") {
+          vm.vcpus = static_cast<int>(wl::parse_scaled(v));
+        } else if (k == "policy") {
+          vm.policy = parse_policy(v, line_no);
+        } else if (k == "preferred") {
+          vm.preferred = static_cast<int>(wl::parse_scaled(v));
+        } else if (k == "alternate") {
+          vm.alternate = wl::parse_scaled(v) != 0.0;
+        } else {
+          throw err(line_no, "unknown vm field '" + k + "'");
+        }
+      }
+      if (vm.name.empty()) throw err(line_no, "vm needs name=");
+      if (vm.mem_bytes <= 0) throw err(line_no, "vm needs mem=");
+      if (vm.vcpus <= 0) throw err(line_no, "vm needs vcpus=");
+      for (const auto& existing : spec.vms) {
+        if (existing.name == vm.name) throw err(line_no, "duplicate vm '" + vm.name + "'");
+      }
+      spec.vms.push_back(std::move(vm));
+    } else if (head == "app") {
+      ScenarioSpec::AppSpec app;
+      for (const auto& [k, v] : keyvals(words, line_no)) {
+        if (k == "vm") {
+          app.vm = v;
+        } else if (k == "kind") {
+          app.kind = v;
+        } else if (k == "profile") {
+          app.profile = v;
+        } else if (k == "count") {
+          app.count = static_cast<int>(wl::parse_scaled(v));
+        } else if (k == "threads") {
+          app.threads = static_cast<int>(wl::parse_scaled(v));
+        } else if (k == "from") {
+          app.from = static_cast<int>(wl::parse_scaled(v));
+        } else if (k == "measure") {
+          app.measure = wl::parse_scaled(v) != 0.0;
+        } else {
+          throw err(line_no, "unknown app field '" + k + "'");
+        }
+      }
+      if (app.kind != "spec" && app.kind != "npb" && app.kind != "hungry" &&
+          app.kind != "ticks") {
+        throw err(line_no, "unknown app kind '" + app.kind + "'");
+      }
+      const bool vm_known =
+          std::any_of(spec.vms.begin(), spec.vms.end(),
+                      [&](const auto& vm) { return vm.name == app.vm; });
+      if (!vm_known) throw err(line_no, "app references unknown vm '" + app.vm + "'");
+      if ((app.kind == "spec" || app.kind == "npb") && !wl::has_profile(app.profile)) {
+        throw err(line_no, "unknown profile '" + app.profile + "'");
+      }
+      spec.apps.push_back(std::move(app));
+    } else {
+      throw err(line_no, "unknown directive '" + head + "'");
+    }
+  }
+  if (spec.vms.empty()) throw std::invalid_argument("scenario defines no VMs");
+  if (spec.apps.empty()) throw std::invalid_argument("scenario defines no apps");
+  return spec;
+}
+
+stats::RunMetrics run_scenario(const ScenarioSpec& spec) {
+  SchedulerOptions opts;
+  opts.sampling_period = sim::Time::seconds(spec.sampling_s);
+  auto machine = spec.machine == "four_node"
+                     ? numa::MachineConfig::four_node_server()
+                     : numa::MachineConfig::xeon_e5620();
+  auto hv = make_hypervisor(spec.sched, spec.seed, opts, machine);
+
+  std::map<std::string, hv::Domain*> domains;
+  for (const auto& vm : spec.vms) {
+    hv::Domain& dom = hv->create_domain(vm.name, vm.mem_bytes, vm.vcpus,
+                                        vm.policy,
+                                        static_cast<numa::NodeId>(vm.preferred));
+    dom.memory().alternate_allocation(vm.alternate);
+    domains[vm.name] = &dom;
+  }
+
+  // Instantiate workloads; keep them alive for the whole run.
+  std::vector<std::unique_ptr<wl::SpecApp>> spec_apps;
+  std::vector<std::unique_ptr<wl::NpbApp>> npb_apps;
+  std::vector<std::unique_ptr<wl::HungryLoops>> hogs;
+  std::vector<std::unique_ptr<wl::GuestOsTicks>> ticks;
+  struct Measured {
+    std::function<bool()> finished;
+    std::function<double()> runtime_s;
+    std::string name;
+    hv::Domain* domain;
+  };
+  std::vector<Measured> measured;
+  const bool any_marked = std::any_of(spec.apps.begin(), spec.apps.end(),
+                                      [](const auto& a) { return a.measure; });
+
+  std::vector<std::function<void()>> starters;
+  for (const auto& app : spec.apps) {
+    hv::Domain& dom = *domains.at(app.vm);
+    auto vcpus = domain_vcpus(dom);
+    const auto from = static_cast<std::size_t>(app.from);
+    if (from >= vcpus.size()) {
+      throw std::invalid_argument("app 'from' beyond vm '" + app.vm + "' vcpus");
+    }
+    const bool measure = app.measure || !any_marked;
+    if (app.kind == "spec") {
+      for (int i = 0; i < app.count; ++i) {
+        const std::size_t slot = from + static_cast<std::size_t>(i);
+        if (slot >= vcpus.size()) {
+          throw std::invalid_argument("too many spec instances for vm '" + app.vm + "'");
+        }
+        spec_apps.push_back(std::make_unique<wl::SpecApp>(
+            *hv, dom, *vcpus[slot], app.profile, spec.scale,
+            app.vm + ":" + app.profile + "#" + std::to_string(i)));
+        wl::SpecApp* sa = spec_apps.back().get();
+        starters.push_back([sa] { sa->start(); });
+        if (measure) {
+          measured.push_back({[sa] { return sa->finished(); },
+                              [sa] { return sa->runtime().to_seconds(); },
+                              sa->name(), &dom});
+        }
+      }
+    } else if (app.kind == "npb") {
+      wl::NpbApp::Config ncfg;
+      ncfg.profile = app.profile;
+      ncfg.threads = app.threads;
+      ncfg.instr_scale = spec.scale;
+      ncfg.name = app.vm + ":" + app.profile;
+      std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
+                                    vcpus.end());
+      npb_apps.push_back(std::make_unique<wl::NpbApp>(*hv, dom, ncfg, subset));
+      wl::NpbApp* na = npb_apps.back().get();
+      starters.push_back([na] { na->start(); });
+      if (measure) {
+        measured.push_back({[na] { return na->finished(); },
+                            [na] { return na->runtime().to_seconds(); },
+                            na->name(), &dom});
+      }
+    } else if (app.kind == "hungry") {
+      std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
+                                    vcpus.end());
+      hogs.push_back(std::make_unique<wl::HungryLoops>(*hv, dom, subset));
+      wl::HungryLoops* h = hogs.back().get();
+      starters.push_back([h] { h->start(); });
+    } else {  // ticks
+      std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
+                                    vcpus.end());
+      ticks.push_back(std::make_unique<wl::GuestOsTicks>(*hv, dom, subset));
+      wl::GuestOsTicks* t = ticks.back().get();
+      starters.push_back([t] { t->start(); });
+    }
+  }
+  if (measured.empty()) {
+    throw std::invalid_argument("scenario has nothing to measure");
+  }
+
+  hv->start();
+  int launch = 0;
+  for (auto& start : starters) {
+    hv->engine().schedule(sim::Time::ms(10 * launch++), start);
+  }
+
+  const bool done = run_until(
+      *hv,
+      [&] {
+        return std::all_of(measured.begin(), measured.end(),
+                           [](const Measured& m) { return m.finished(); });
+      },
+      sim::Time::seconds(spec.horizon_s));
+
+  stats::RunMetrics metrics;
+  metrics.scheduler = to_string(spec.sched);
+  metrics.workload = "scenario";
+  metrics.completed = done;
+  pmu::CounterSet counters;
+  std::vector<hv::Domain*> counted;
+  for (const Measured& m : measured) {
+    metrics.app_runtime_s[m.name] = m.finished() ? m.runtime_s() : 0.0;
+    if (std::find(counted.begin(), counted.end(), m.domain) == counted.end()) {
+      counted.push_back(m.domain);
+      counters += m.domain->total_counters();
+    }
+  }
+  metrics.finalize();
+  metrics.total_mem_accesses = counters.total_mem_accesses();
+  metrics.remote_mem_accesses = counters.remote_accesses;
+  metrics.migrations = hv->total_migrations();
+  metrics.cross_node_migrations = hv->total_cross_node_migrations();
+  const double busy = hv->total_busy_time().to_seconds();
+  metrics.overhead_fraction =
+      busy > 0 ? hv->overhead().paper_overhead().to_seconds() / busy : 0.0;
+  metrics.sim_seconds = hv->now().to_seconds();
+  return metrics;
+}
+
+}  // namespace vprobe::runner

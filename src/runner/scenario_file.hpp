@@ -1,0 +1,73 @@
+// Declarative scenario files: run arbitrary consolidation experiments
+// without writing C++.  Line-oriented format, '#' comments:
+//
+//     machine xeon_e5620            # or: four_node
+//     scheduler vprobe              # credit|vprobe|vcpu_p|lb|brm|autonuma
+//     seed 42
+//     scale 0.25                    # instruction-budget scale
+//     horizon 600                   # seconds of simulated time, safety stop
+//     sampling 1.0                  # vProbe-family sampling period, seconds
+//
+//     vm name=VM1 mem=15G vcpus=8 policy=fill_first alternate=1
+//     vm name=VM3 mem=1G  vcpus=8 preferred=1
+//
+//     app vm=VM1 kind=spec profile=soplex count=4 measure=1
+//     app vm=VM1 kind=ticks from=4
+//     app vm=VM3 kind=hungry
+//
+// App kinds: spec (count instances, one VCPU each, starting at `from`),
+// npb (4-threaded barrier app; `threads=` to change), hungry (one loop per
+// remaining VCPU from `from`), ticks (guest housekeeping on VCPUs from
+// `from`).  Apps with measure=1 define run completion and the reported
+// runtime; when none is marked, every spec/npb app is measured.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/scenario.hpp"
+#include "stats/metrics.hpp"
+
+namespace vprobe::runner {
+
+struct ScenarioSpec {
+  std::string machine = "xeon_e5620";
+  SchedKind sched = SchedKind::kVprobe;
+  std::uint64_t seed = 1;
+  double scale = 0.25;
+  double horizon_s = 3600.0;
+  double sampling_s = 1.0;
+
+  struct VmSpec {
+    std::string name;
+    std::int64_t mem_bytes = 0;
+    int vcpus = 0;
+    numa::PlacementPolicy policy = numa::PlacementPolicy::kFillFirst;
+    int preferred = 0;
+    bool alternate = false;
+  };
+
+  struct AppSpec {
+    std::string vm;
+    std::string kind;          ///< spec | npb | hungry | ticks
+    std::string profile;       ///< for spec/npb
+    int count = 1;             ///< spec instances
+    int threads = 4;           ///< npb threads
+    int from = 0;              ///< first VCPU index used
+    bool measure = false;
+  };
+
+  std::vector<VmSpec> vms;
+  std::vector<AppSpec> apps;
+};
+
+/// Parse the scenario text.  Throws std::invalid_argument with a line
+/// number on malformed input; validates VM references and profiles.
+ScenarioSpec parse_scenario(std::string_view text);
+
+/// Build, run and measure the scenario.  Returns aggregated metrics over
+/// the measured apps (runtime per app, counters of their VMs).
+stats::RunMetrics run_scenario(const ScenarioSpec& spec);
+
+}  // namespace vprobe::runner

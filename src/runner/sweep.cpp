@@ -1,0 +1,38 @@
+#include "runner/sweep.hpp"
+
+namespace vprobe::runner {
+
+std::vector<double> collect(std::span<const stats::RunMetrics> runs,
+                            const MetricFn& metric) {
+  std::vector<double> values;
+  values.reserve(runs.size());
+  for (const auto& r : runs) values.push_back(metric(r));
+  return values;
+}
+
+std::vector<double> normalize_to_first(std::vector<double> values) {
+  if (values.empty() || values.front() == 0.0) return values;
+  const double base = values.front();
+  for (double& v : values) v /= base;
+  return values;
+}
+
+double metric_avg_runtime(const stats::RunMetrics& m) { return m.avg_runtime_s; }
+double metric_total_accesses(const stats::RunMetrics& m) { return m.total_mem_accesses; }
+double metric_remote_accesses(const stats::RunMetrics& m) { return m.remote_mem_accesses; }
+double metric_throughput(const stats::RunMetrics& m) { return m.throughput_rps; }
+
+double mix_normalized_runtime(const stats::RunMetrics& run,
+                              const stats::RunMetrics& baseline) {
+  double total = 0.0;
+  int count = 0;
+  for (const auto& [name, t] : run.app_runtime_s) {
+    auto it = baseline.app_runtime_s.find(name);
+    if (it == baseline.app_runtime_s.end() || it->second == 0.0) continue;
+    total += t / it->second;
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace vprobe::runner

@@ -1,0 +1,35 @@
+// Small helpers for turning sets of RunMetrics into the normalized series
+// the paper's figures plot.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/metrics.hpp"
+
+namespace vprobe::runner {
+
+using MetricFn = std::function<double(const stats::RunMetrics&)>;
+
+/// Extract one metric from each run.
+std::vector<double> collect(std::span<const stats::RunMetrics> runs,
+                            const MetricFn& metric);
+
+/// Divide every element by the first (the Credit baseline by convention).
+std::vector<double> normalize_to_first(std::vector<double> values);
+
+/// Standard metric accessors.
+double metric_avg_runtime(const stats::RunMetrics& m);
+double metric_total_accesses(const stats::RunMetrics& m);
+double metric_remote_accesses(const stats::RunMetrics& m);
+double metric_throughput(const stats::RunMetrics& m);
+
+/// Per-app normalized-runtime average for "mix" workloads: each app's
+/// runtime is normalized against the same app in `baseline`, then averaged
+/// (Section V-B1's procedure).
+double mix_normalized_runtime(const stats::RunMetrics& run,
+                              const stats::RunMetrics& baseline);
+
+}  // namespace vprobe::runner

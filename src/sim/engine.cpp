@@ -1,0 +1,85 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace vprobe::sim {
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Engine::schedule_at(Time when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Engine::schedule_at: time is in the past");
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Item{when, next_seq_++, std::move(fn), state});
+  return EventHandle{std::move(state)};
+}
+
+EventHandle Engine::schedule_periodic(Time period, std::function<void()> fn) {
+  if (period <= Time::zero()) {
+    throw std::invalid_argument("Engine::schedule_periodic: period must be positive");
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  // The chain re-arms itself as long as the shared state is not cancelled.
+  auto arm = std::make_shared<std::function<void(Time)>>();
+  *arm = [this, period, fn = std::move(fn), state, arm](Time when) {
+    queue_.push(Item{when, next_seq_++,
+                     [this, period, fn, state, arm] {
+                       fn();
+                       if (!state->cancelled) (*arm)(now_ + period);
+                     },
+                     state});
+  };
+  (*arm)(now_ + period);
+  return EventHandle{std::move(state)};
+}
+
+bool Engine::pop_one() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; we must copy the function out before pop.
+    Item item = queue_.top();
+    queue_.pop();
+    if (item.state->cancelled) continue;
+    assert(item.when >= now_);
+    now_ = item.when;
+    item.state->fired = true;
+    ++executed_;
+    item.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run_until(Time deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Skip over cancelled events without advancing the clock.
+    if (queue_.top().state->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    if (pop_one()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && pop_one()) ++n;
+  return n;
+}
+
+void Engine::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace vprobe::sim

@@ -1,0 +1,105 @@
+// Discrete-event simulation engine.
+//
+// The engine owns the simulated clock and a priority queue of events.  Events
+// scheduled at equal times fire in scheduling order (FIFO by sequence
+// number), which keeps runs fully deterministic.  Events may be cancelled
+// through the handle returned by schedule().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vprobe::sim {
+
+class Engine;
+
+/// Cancellation handle for a scheduled event.  Copyable; all copies refer to
+/// the same underlying event.  A default-constructed handle refers to nothing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the event from firing.  Safe to call more than once, after the
+  /// event has fired, or on an empty handle.
+  void cancel();
+
+  /// True if the event is still pending (scheduled, not cancelled, not fired).
+  bool pending() const;
+
+ private:
+  friend class Engine;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// The simulation engine: a clock plus an ordered event queue.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(Time when, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` after now (delay must be >= 0).
+  EventHandle schedule(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` to run every `period`, starting at now + `period`.
+  /// Returns a handle that cancels the *entire* periodic chain.
+  EventHandle schedule_periodic(Time period, std::function<void()> fn);
+
+  /// Run events until the queue empties or the clock would pass `deadline`.
+  /// Events exactly at `deadline` do fire.  Returns the number of events run.
+  std::size_t run_until(Time deadline);
+
+  /// Run until the queue is empty (use with care: periodic timers never end;
+  /// `max_events` is a runaway backstop).
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Drop every pending event (used by test teardown).
+  void clear();
+
+  /// Number of events currently queued (including cancelled-but-unpopped).
+  std::size_t queued() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Item {
+    Time when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one();  // fire the earliest event; false if queue empty
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+};
+
+}  // namespace vprobe::sim

@@ -1,0 +1,32 @@
+#include "sim/log.hpp"
+
+#include "sim/engine.hpp"
+
+namespace vprobe::sim {
+
+LogLevel Log::level_ = LogLevel::kOff;
+const Engine* Log::engine_ = nullptr;
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    default:               return "?????";
+  }
+}
+}  // namespace
+
+void Log::emit_prefix(LogLevel level, const char* tag) {
+  if (engine_ != nullptr) {
+    std::fprintf(stderr, "[%12.6f] %s %-8s ", engine_->now().to_seconds(),
+                 level_name(level), tag);
+  } else {
+    std::fprintf(stderr, "[   --.-- ] %s %-8s ", level_name(level), tag);
+  }
+}
+
+}  // namespace vprobe::sim

@@ -1,0 +1,69 @@
+// Minimal structured logging for the simulator.
+//
+// Logging is off by default (benchmarks must run clean); tests and examples
+// can raise the level.  The logger prefixes each line with the simulated
+// time of the Engine it is bound to, which makes scheduler traces readable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace vprobe::sim {
+
+class Engine;
+
+enum class LogLevel : int { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Process-wide log configuration.  Not thread-safe by design: the simulator
+/// is single-threaded (discrete-event), and benches run serially.
+class Log {
+ public:
+  static void set_level(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_; }
+
+  /// Bind a clock so messages carry simulated timestamps (nullptr to unbind).
+  static void bind_clock(const Engine* engine) { engine_ = engine; }
+
+  static bool enabled(LogLevel level) { return level <= level_; }
+
+  /// printf-style logging.  Example: Log::write(LogLevel::kDebug, "hv",
+  /// "vcpu %d migrated to pcpu %d", v, p);
+  template <typename... Args>
+  static void write(LogLevel level, const char* tag, const char* fmt,
+                    Args... args) {
+    if (!enabled(level)) return;
+    emit_prefix(level, tag);
+    std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+  }
+
+  static void write(LogLevel level, const char* tag, const char* msg) {
+    if (!enabled(level)) return;
+    emit_prefix(level, tag);
+    std::fputs(msg, stderr);
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  static void emit_prefix(LogLevel level, const char* tag);
+  static LogLevel level_;
+  static const Engine* engine_;
+};
+
+#define VPROBE_LOG(level, tag, ...)                                  \
+  do {                                                               \
+    if (::vprobe::sim::Log::enabled(level)) {                        \
+      ::vprobe::sim::Log::write(level, tag, __VA_ARGS__);            \
+    }                                                                \
+  } while (0)
+
+#define VPROBE_DEBUG(tag, ...) \
+  VPROBE_LOG(::vprobe::sim::LogLevel::kDebug, tag, __VA_ARGS__)
+#define VPROBE_INFO(tag, ...) \
+  VPROBE_LOG(::vprobe::sim::LogLevel::kInfo, tag, __VA_ARGS__)
+#define VPROBE_WARN(tag, ...) \
+  VPROBE_LOG(::vprobe::sim::LogLevel::kWarn, tag, __VA_ARGS__)
+
+}  // namespace vprobe::sim

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Experiments must be exactly reproducible from a seed, so every stochastic
+// component draws from an explicitly threaded Rng instance — never from a
+// global or from std::random_device.  The generator is xoshiro256**, seeded
+// via SplitMix64, which is the standard high-quality seeding recipe.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace vprobe::sim {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded with SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given rate (mean = 1/rate).
+  double exponential(double rate);
+
+  /// Normal (Gaussian) variate via Box–Muller.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// All weights must be >= 0 and at least one > 0.
+  std::size_t weighted_pick(std::span<const double> weights);
+
+  /// Pick a uniformly random element index of a non-empty container size.
+  std::size_t pick_index(std::size_t size) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4] = {};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace vprobe::sim

@@ -1,0 +1,43 @@
+#include "stats/csv.hpp"
+
+#include <stdexcept>
+
+#include "stats/table.hpp"
+
+namespace vprobe::stats {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
+    : out_(path), columns_(headers.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  add_row(headers);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < columns_; ++i) {
+    if (i) out_ << ',';
+    if (i < cells.size()) out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::string& label,
+                        const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt(v, "%.6g"));
+  add_row(cells);
+}
+
+}  // namespace vprobe::stats

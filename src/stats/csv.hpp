@@ -1,0 +1,27 @@
+// Minimal CSV writer: benches can optionally dump their series for external
+// plotting alongside the console tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vprobe::stats {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`.  Throws std::runtime_error on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row(const std::string& label, const std::vector<double>& values);
+
+  /// Escape a cell per RFC 4180 (quotes around separators/quotes/newlines).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace vprobe::stats

@@ -1,0 +1,17 @@
+#include "stats/metrics.hpp"
+
+namespace vprobe::stats {
+
+void RunMetrics::finalize() {
+  if (app_runtime_s.empty()) return;
+  double total = 0.0;
+  for (const auto& [name, t] : app_runtime_s) total += t;
+  avg_runtime_s = total / static_cast<double>(app_runtime_s.size());
+}
+
+double normalized(double value, double baseline) {
+  if (baseline == 0.0) return 0.0;
+  return value / baseline;
+}
+
+}  // namespace vprobe::stats

@@ -1,0 +1,56 @@
+// Per-run experiment metrics: what the paper's figures plot.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace vprobe::stats {
+
+struct RunMetrics {
+  std::string scheduler;
+  std::string workload;
+
+  /// Per-application wall runtimes (the Figure 4/5 primary metric).
+  std::map<std::string, double> app_runtime_s;
+
+  /// Mean of app_runtime_s (set by finalize()).
+  double avg_runtime_s = 0.0;
+
+  /// Measured domain's memory-access counters (Figures 4-7 panels b/c).
+  double total_mem_accesses = 0.0;
+  double remote_mem_accesses = 0.0;
+
+  /// Server throughput, requests/s (Figure 7a; 0 for batch workloads).
+  double throughput_rps = 0.0;
+
+  /// Request-latency percentiles in seconds (server workloads; 0 for batch).
+  /// Not a paper metric — reported because any load tester would.
+  double latency_p50_s = 0.0;
+  double latency_p99_s = 0.0;
+
+  /// Hypervisor "overhead time" fraction (Table III).
+  double overhead_fraction = 0.0;
+
+  /// Scheduler churn.
+  std::uint64_t migrations = 0;
+  std::uint64_t cross_node_migrations = 0;
+
+  /// Wall time the measurement took inside the simulation.
+  double sim_seconds = 0.0;
+  /// True when every tracked app finished before the horizon.
+  bool completed = false;
+
+  double remote_access_ratio() const {
+    return total_mem_accesses > 0 ? remote_mem_accesses / total_mem_accesses : 0.0;
+  }
+
+  /// Compute avg_runtime_s from app_runtime_s.
+  void finalize();
+};
+
+/// value / baseline, guarding division by zero.
+double normalized(double value, double baseline);
+
+}  // namespace vprobe::stats

@@ -1,0 +1,56 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vprobe::stats {
+
+double Summary::sum() const {
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) throw std::logic_error("Summary::mean: no samples");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const {
+  if (samples_.empty()) throw std::logic_error("Summary::min: no samples");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) throw std::logic_error("Summary::max: no samples");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Summary::ensure_sorted() const {
+  if (!dirty_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  dirty_ = false;
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("Summary::percentile: no samples");
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  const double pos = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+}  // namespace vprobe::stats

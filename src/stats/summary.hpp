@@ -1,0 +1,37 @@
+// Descriptive statistics over a sample vector.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vprobe::stats {
+
+class Summary {
+ public:
+  Summary() = default;
+
+  void add(double v) { samples_.push_back(v); dirty_ = true; }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double stddev() const;  ///< sample standard deviation (n-1)
+  double min() const;
+  double max() const;
+  double sum() const;
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace vprobe::stats

@@ -1,0 +1,60 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vprobe::stats {
+
+std::string fmt(double v, const char* spec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+void Table::add_row(const std::string& label, const std::vector<double>& values,
+                    const char* spec) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt(v, spec));
+  add_row(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << (c == 0 ? "" : "  ");
+      os << cell;
+      os << std::string(widths[c] - cell.size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print(std::FILE* out) const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), out);
+  std::fflush(out);
+}
+
+}  // namespace vprobe::stats

@@ -1,0 +1,40 @@
+// Fixed-width console table printer for bench output (the textual stand-in
+// for the paper's figures).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vprobe::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append a row; cells beyond the header count are dropped.
+  void add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: first cell is a label, the rest are numbers.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               const char* fmt = "%.3f");
+
+  /// Render with column auto-sizing.
+  std::string str() const;
+  void print(std::FILE* out = stdout) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string fmt(double v, const char* spec = "%.3f");
+
+}  // namespace vprobe::stats

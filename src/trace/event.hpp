@@ -1,0 +1,33 @@
+// Trace event vocabulary for the hypervisor tracer (xentrace's analog).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace vprobe::trace {
+
+enum class EventKind : std::uint8_t {
+  kSwitchIn = 0,   ///< vcpu starts running on pcpu
+  kSwitchOut,      ///< vcpu stops running on pcpu (aux = 1 when preempted)
+  kWake,           ///< vcpu became runnable
+  kBlock,          ///< vcpu blocked
+  kFinish,         ///< vcpu's work completed
+  kMigration,      ///< vcpu changed pcpu (aux = 1 when cross-node)
+  kPartition,      ///< partitioner reassigned vcpu to node aux
+  kPageMove,       ///< aux chunks migrated for vcpu
+  kCount,
+};
+
+const char* to_string(EventKind kind);
+
+/// One fixed-size trace record; `aux` is event-specific (see EventKind).
+struct Record {
+  sim::Time when;
+  EventKind kind = EventKind::kSwitchIn;
+  std::int32_t vcpu = -1;
+  std::int32_t pcpu = -1;
+  std::int32_t aux = 0;
+};
+
+}  // namespace vprobe::trace

@@ -1,0 +1,68 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vprobe::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSwitchIn:  return "switch-in";
+    case EventKind::kSwitchOut: return "switch-out";
+    case EventKind::kWake:      return "wake";
+    case EventKind::kBlock:     return "block";
+    case EventKind::kFinish:    return "finish";
+    case EventKind::kMigration: return "migration";
+    case EventKind::kPartition: return "partition";
+    case EventKind::kPageMove:  return "page-move";
+    case EventKind::kCount:     break;
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) {
+  if (capacity == 0) throw std::invalid_argument("Tracer: capacity must be > 0");
+  ring_.resize(capacity);
+}
+
+void Tracer::record(sim::Time when, EventKind kind, std::int32_t vcpu,
+                    std::int32_t pcpu, std::int32_t aux) {
+  ring_[next_] = Record{when, kind, vcpu, pcpu, aux};
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+  ++counts_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<Record> Tracer::snapshot() const {
+  std::vector<Record> out;
+  const std::size_t kept = static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_, ring_.size()));
+  out.reserve(kept);
+  // Oldest retained element sits at next_ when the ring has wrapped.
+  const std::size_t start = total_ > ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < kept; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  next_ = 0;
+  total_ = 0;
+  counts_.fill(0);
+}
+
+void Tracer::dump(std::FILE* out, std::size_t limit) const {
+  const auto events = snapshot();
+  const std::size_t begin = events.size() > limit ? events.size() - limit : 0;
+  for (std::size_t i = begin; i < events.size(); ++i) {
+    const Record& r = events[i];
+    std::fprintf(out, "[%12.6f] %-10s vcpu=%-3d pcpu=%-2d aux=%d\n",
+                 r.when.to_seconds(), to_string(r.kind), r.vcpu, r.pcpu, r.aux);
+  }
+  std::fprintf(out, "total=%llu dropped=%llu\n",
+               static_cast<unsigned long long>(total_),
+               static_cast<unsigned long long>(dropped()));
+}
+
+}  // namespace vprobe::trace

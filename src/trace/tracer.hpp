@@ -1,0 +1,49 @@
+// Bounded scheduler tracer.
+//
+// A fixed-capacity ring of Records plus running per-kind counters.  The
+// ring keeps the *most recent* events (old ones are overwritten and counted
+// as dropped); counters cover the whole run.  The hypervisor emits into an
+// attached Tracer with one branch when none is attached, so tracing is free
+// unless requested.
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace vprobe::trace {
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 65536);
+
+  void record(sim::Time when, EventKind kind, std::int32_t vcpu,
+              std::int32_t pcpu, std::int32_t aux = 0);
+
+  /// Events currently retained, oldest first.
+  std::vector<Record> snapshot() const;
+
+  std::uint64_t count(EventKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  std::size_t capacity() const { return ring_.size(); }
+
+  void clear();
+
+  /// Human-readable dump of the retained events (most recent `limit`).
+  void dump(std::FILE* out, std::size_t limit = 50) const;
+
+ private:
+  std::vector<Record> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(EventKind::kCount)> counts_{};
+};
+
+}  // namespace vprobe::trace

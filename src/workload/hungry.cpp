@@ -1,0 +1,26 @@
+#include "workload/hungry.hpp"
+
+namespace vprobe::wl {
+
+HungryLoops::HungryLoops(hv::Hypervisor& hv, hv::Domain& domain,
+                         std::span<hv::Vcpu* const> vcpus)
+    : hv_(&hv), vcpus_(vcpus.begin(), vcpus.end()) {
+  const AppProfile& prof = profile("hungry");
+  threads_.reserve(vcpus_.size());
+  for (std::size_t i = 0; i < vcpus_.size(); ++i) {
+    ComputeThread::Init init;
+    init.profile = &prof;
+    init.memory = &domain.memory();
+    init.region = domain.memory().alloc_region(prof.footprint_bytes);
+    init.total_instructions = prof.default_instructions;  // effectively forever
+    init.name = "hungry.t" + std::to_string(i);
+    threads_.push_back(std::make_unique<ComputeThread>(std::move(init)));
+    threads_.back()->bind(hv, *vcpus_[i]);
+  }
+}
+
+void HungryLoops::start() {
+  for (hv::Vcpu* v : vcpus_) hv_->wake(*v);
+}
+
+}  // namespace vprobe::wl

@@ -1,0 +1,30 @@
+// Hungry-loop CPU burners (the paper's VM3 workload): pure compute threads
+// that never block and never finish, existing only to consume every spare
+// CPU cycle and keep the load balancer busy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/app.hpp"
+
+namespace vprobe::wl {
+
+class HungryLoops {
+ public:
+  /// One hungry loop per VCPU in `vcpus`.
+  HungryLoops(hv::Hypervisor& hv, hv::Domain& domain,
+              std::span<hv::Vcpu* const> vcpus);
+
+  void start();
+
+  int count() const { return static_cast<int>(threads_.size()); }
+  ComputeThread& thread(int i) { return *threads_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  hv::Hypervisor* hv_;
+  std::vector<std::unique_ptr<ComputeThread>> threads_;
+  std::vector<hv::Vcpu*> vcpus_;
+};
+
+}  // namespace vprobe::wl

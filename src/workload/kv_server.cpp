@@ -1,0 +1,107 @@
+#include "workload/kv_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vprobe::wl {
+
+RequestServer::RequestServer(hv::Hypervisor& hv, hv::Domain& domain,
+                             Config config, std::span<hv::Vcpu* const> vcpus)
+    : hv_(&hv),
+      name_(std::move(config.name)),
+      instr_per_request_(config.instr_per_request),
+      max_batch_(config.max_batch) {
+  if (config.workers < 1) throw std::invalid_argument("RequestServer: workers < 1");
+  if (vcpus.size() < static_cast<std::size_t>(config.workers)) {
+    throw std::invalid_argument("RequestServer: not enough VCPUs");
+  }
+  if (max_batch_ < 1) throw std::invalid_argument("RequestServer: max_batch < 1");
+  const AppProfile& prof = profile(config.profile);
+  vcpus_.assign(vcpus.begin(), vcpus.begin() + config.workers);
+  pending_.assign(static_cast<std::size_t>(config.workers), 0);
+  inflight_.assign(static_cast<std::size_t>(config.workers), 0);
+  arrival_queues_.resize(static_cast<std::size_t>(config.workers));
+  workers_.reserve(static_cast<std::size_t>(config.workers));
+  for (int i = 0; i < config.workers; ++i) {
+    ComputeThread::Init init;
+    init.profile = &prof;
+    init.memory = &domain.memory();
+    init.region = domain.memory().alloc_region(prof.footprint_bytes);
+    init.total_instructions = prof.default_instructions;  // effectively forever
+    init.burst_instructions = instr_per_request_;         // replaced per batch
+    init.name = name_ + ".w" + std::to_string(i);
+    workers_.push_back(std::make_unique<Worker>(std::move(init), this, i));
+    workers_.back()->bind(hv, *vcpus_[static_cast<std::size_t>(i)]);
+  }
+}
+
+std::int64_t RequestServer::pending() const {
+  std::int64_t total = 0;
+  for (auto p : pending_) total += p;
+  return total;
+}
+
+void RequestServer::submit(int n) {
+  while (n > 0) {
+    submit_to(round_robin_, 1);
+    round_robin_ = (round_robin_ + 1) % workers();
+    --n;
+  }
+}
+
+void RequestServer::submit_to(int worker, int n) {
+  if (n <= 0) return;
+  pending_[static_cast<std::size_t>(worker)] += n;
+  arrival_queues_[static_cast<std::size_t>(worker)].emplace_back(hv_->now(), n);
+  kick(worker);
+}
+
+void RequestServer::kick(int worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  // Only start a batch when the worker is parked: no in-flight batch and its
+  // VCPU blocked.  A busy worker picks pending work up at its batch end.
+  if (inflight_[w] != 0) return;
+  hv::Vcpu* v = vcpus_[w];
+  if (v->state != hv::VcpuState::kBlocked) return;
+  if (pending_[w] <= 0) return;
+  const int batch = static_cast<int>(
+      std::min<std::int64_t>(pending_[w], max_batch_));
+  pending_[w] -= batch;
+  inflight_[w] = batch;
+  workers_[w]->begin_batch(batch * instr_per_request_);
+  hv_->wake(*v);
+}
+
+hv::Outcome RequestServer::worker_batch_done(int worker, sim::Time now) {
+  const auto w = static_cast<std::size_t>(worker);
+  const int done = inflight_[w];
+  inflight_[w] = 0;
+  served_ += static_cast<std::uint64_t>(done);
+  // Latency: drain arrival records in FIFO order, one sample per batch of
+  // same-time arrivals (weighting by count would not change percentiles of
+  // the homogeneous streams the load generators produce).
+  int to_account = done;
+  auto& arrivals = arrival_queues_[w];
+  while (to_account > 0 && !arrivals.empty()) {
+    auto& [when, count] = arrivals.front();
+    latency_.add((now - when).to_seconds());
+    const int used = std::min(count, to_account);
+    to_account -= used;
+    count -= used;
+    if (count == 0) arrivals.pop_front();
+  }
+  if (on_served && done > 0) on_served(worker, done, now);
+
+  // The callback may have refilled our queue (closed-loop clients do).
+  if (pending_[w] > 0) {
+    const int batch = static_cast<int>(
+        std::min<std::int64_t>(pending_[w], max_batch_));
+    pending_[w] -= batch;
+    inflight_[w] = batch;
+    workers_[w]->begin_batch(batch * instr_per_request_);
+    return {hv::OutcomeKind::kContinue};
+  }
+  return {hv::OutcomeKind::kBlockUntilWake};
+}
+
+}  // namespace vprobe::wl

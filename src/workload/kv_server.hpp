@@ -1,0 +1,100 @@
+// Generic in-memory key-value request server (substrate for the Memcached
+// and Redis workload models).
+//
+// The server owns `workers` guest threads, each bound to a VCPU.  Clients
+// enqueue requests with submit(); a worker coalesces up to `max_batch`
+// pending requests into one execution burst (batch ~= a few ms, so the
+// simulation stays event-light even at tens of thousands of requests per
+// second), blocks when its queue drains, and is woken by the next submit.
+// The block/wake churn this produces is exactly the scheduler workload the
+// paper's Figures 6 and 7 stress.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "workload/app.hpp"
+
+namespace vprobe::wl {
+
+class RequestServer {
+ public:
+  struct Config {
+    std::string profile = "memcached";  ///< worker memory behaviour
+    int workers = 8;
+    double instr_per_request = 150e3;   ///< service demand per request
+    int max_batch = 32;                 ///< requests coalesced per burst
+    std::string name = "server";
+  };
+
+  RequestServer(hv::Hypervisor& hv, hv::Domain& domain, Config config,
+                std::span<hv::Vcpu* const> vcpus);
+
+  /// Enqueue `n` requests, spread round-robin over the workers.
+  void submit(int n);
+
+  /// Enqueue `n` requests on a specific worker (used by paired clients).
+  void submit_to(int worker, int n);
+
+  /// Fired every time a worker completes a batch.
+  std::function<void(int worker, int served, sim::Time now)> on_served;
+
+  std::uint64_t served() const { return served_; }
+  std::int64_t pending() const;
+  int workers() const { return static_cast<int>(workers_.size()); }
+  const std::string& name() const { return name_; }
+  ComputeThread& worker_thread(int i) { return *workers_.at(static_cast<std::size_t>(i)); }
+
+  /// Change the per-request service demand (e.g. connection-count overhead).
+  void set_instr_per_request(double v) { instr_per_request_ = v; }
+  double instr_per_request() const { return instr_per_request_; }
+
+  /// Request sojourn times (submit -> batch completion), in seconds — the
+  /// latency distribution a load tester would report alongside throughput.
+  const stats::Summary& latency() const { return latency_; }
+
+ private:
+  class Worker : public ComputeThread {
+   public:
+    Worker(Init init, RequestServer* server, int index)
+        : ComputeThread(std::move(init)), server_(server), index_(index) {}
+
+    void begin_batch(double instructions) { set_burst_budget(instructions); }
+
+   protected:
+    hv::Outcome on_burst_end(sim::Time now) override {
+      return server_->worker_batch_done(index_, now);
+    }
+
+   private:
+    RequestServer* server_;
+    int index_;
+  };
+
+  hv::Outcome worker_batch_done(int worker, sim::Time now);
+
+  /// Start a new batch on an idle worker if it has pending requests.
+  void kick(int worker);
+
+  hv::Hypervisor* hv_;
+  std::string name_;
+  double instr_per_request_;
+  int max_batch_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<hv::Vcpu*> vcpus_;
+  std::vector<std::int64_t> pending_;
+  std::vector<int> inflight_;   ///< requests covered by the current burst
+  /// Per-worker FIFO of (submit time, request count) for latency tracking.
+  std::vector<std::deque<std::pair<sim::Time, int>>> arrival_queues_;
+  stats::Summary latency_;
+  std::uint64_t served_ = 0;
+  int round_robin_ = 0;
+};
+
+}  // namespace vprobe::wl

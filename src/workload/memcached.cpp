@@ -1,0 +1,70 @@
+#include "workload/memcached.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vprobe::wl {
+
+RequestServer::Config memcached_server_config(const std::string& name,
+                                              int workers) {
+  RequestServer::Config cfg;
+  cfg.profile = "memcached";
+  cfg.workers = workers;
+  cfg.instr_per_request = 150e3;
+  cfg.max_batch = 32;
+  cfg.name = name;
+  return cfg;
+}
+
+MemslapClient::MemslapClient(hv::Hypervisor& hv, Config config,
+                             std::vector<RequestServer*> servers)
+    : hv_(&hv), config_(config), servers_(std::move(servers)) {
+  if (servers_.empty()) throw std::invalid_argument("MemslapClient: no servers");
+  if (config_.concurrency < 1) throw std::invalid_argument("MemslapClient: concurrency < 1");
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    servers_[s]->on_served = [this, s](int worker, int n, sim::Time now) {
+      handle_served(s, worker, n, now);
+    };
+  }
+}
+
+void MemslapClient::start() {
+  start_time_ = hv_->now();
+  finish_time_ = start_time_;
+  // Spread the initial window evenly over the servers.
+  const std::uint64_t window =
+      std::min<std::uint64_t>(config_.total_ops,
+                              static_cast<std::uint64_t>(config_.concurrency));
+  std::uint64_t left = window;
+  std::size_t s = 0;
+  while (left > 0) {
+    servers_[s]->submit(1);
+    ++issued_;
+    --left;
+    s = (s + 1) % servers_.size();
+  }
+}
+
+void MemslapClient::handle_served(std::size_t server_idx, int worker, int n,
+                                  sim::Time now) {
+  completed_ += static_cast<std::uint64_t>(n);
+  if (completed_ >= config_.total_ops) {
+    if (finish_time_ <= start_time_) finish_time_ = now;
+    return;
+  }
+  // Closed loop with connection affinity: a memslap connection is bound to
+  // one port, so a completed request is replaced on the *same* worker.  At
+  // high concurrency this keeps every port's pipeline full (workers never
+  // sleep); at low concurrency workers drain and block after each request —
+  // the regime where wake placement dominates performance.
+  const std::uint64_t can_issue =
+      config_.total_ops > issued_ ? config_.total_ops - issued_ : 0;
+  const int replace = static_cast<int>(
+      std::min<std::uint64_t>(can_issue, static_cast<std::uint64_t>(n)));
+  if (replace > 0) {
+    servers_[server_idx]->submit_to(worker, replace);
+    issued_ += static_cast<std::uint64_t>(replace);
+  }
+}
+
+}  // namespace vprobe::wl

@@ -1,0 +1,58 @@
+// Memcached workload model (Section V-B3).
+//
+// The paper deploys a memcached server with eight working ports in VM1 and
+// VM2 each, drives them with memslap at 16..112 concurrent calls, and
+// reports the total time to execute 50,000 operations (we scale the op
+// count; shapes are what matters).  memslap runs outside the VMs, so the
+// client here is a pure closed-loop load generator with no CPU footprint:
+// it keeps `concurrency` requests outstanding across the servers and
+// replaces each completed request immediately until the op budget drains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/kv_server.hpp"
+
+namespace vprobe::wl {
+
+/// Memcached server: a RequestServer with the paper's eight worker ports.
+RequestServer::Config memcached_server_config(const std::string& name,
+                                              int workers = 8);
+
+class MemslapClient {
+ public:
+  struct Config {
+    int concurrency = 64;          ///< outstanding requests (16..112 sweep)
+    std::uint64_t total_ops = 400'000;
+  };
+
+  MemslapClient(hv::Hypervisor& hv, Config config,
+                std::vector<RequestServer*> servers);
+
+  /// Issue the initial window of requests.
+  void start();
+
+  bool finished() const { return finish_time_ > start_time_; }
+  std::uint64_t completed() const { return completed_; }
+  sim::Time start_time() const { return start_time_; }
+  sim::Time finish_time() const { return finish_time_; }
+  sim::Time runtime() const { return finish_time_ - start_time_; }
+  double throughput_ops_per_s() const {
+    const double s = runtime().to_seconds();
+    return s > 0 ? static_cast<double>(completed_) / s : 0.0;
+  }
+
+ private:
+  void handle_served(std::size_t server_idx, int worker, int n, sim::Time now);
+
+  hv::Hypervisor* hv_;
+  Config config_;
+  std::vector<RequestServer*> servers_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  sim::Time start_time_;
+  sim::Time finish_time_;
+};
+
+}  // namespace vprobe::wl

@@ -1,0 +1,32 @@
+#include "workload/os_ticker.hpp"
+
+namespace vprobe::wl {
+
+GuestOsTicks::GuestOsTicks(hv::Hypervisor& hv, hv::Domain& domain,
+                           std::span<hv::Vcpu* const> vcpus)
+    : GuestOsTicks(hv, domain, vcpus, Config{}) {}
+
+GuestOsTicks::GuestOsTicks(hv::Hypervisor& hv, hv::Domain& domain,
+                           std::span<hv::Vcpu* const> vcpus, Config config)
+    : hv_(&hv), vcpus_(vcpus.begin(), vcpus.end()) {
+  const AppProfile& prof = profile("osticker");
+  threads_.reserve(vcpus_.size());
+  for (std::size_t i = 0; i < vcpus_.size(); ++i) {
+    ComputeThread::Init init;
+    init.profile = &prof;
+    init.memory = &domain.memory();
+    init.region = domain.memory().alloc_region(prof.footprint_bytes);
+    init.total_instructions = prof.default_instructions;  // forever
+    init.burst_instructions = config.instructions_per_tick;
+    init.name = domain.name() + ".tick" + std::to_string(i);
+    threads_.push_back(
+        std::make_unique<TickThread>(std::move(init), config.tick_interval));
+    threads_.back()->bind(hv, *vcpus_[i]);
+  }
+}
+
+void GuestOsTicks::start() {
+  for (hv::Vcpu* v : vcpus_) hv_->wake(*v);
+}
+
+}  // namespace vprobe::wl

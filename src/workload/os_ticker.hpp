@@ -1,0 +1,59 @@
+// Guest-OS housekeeping activity on otherwise-idle VCPUs.
+//
+// A real guest is never completely quiet: the kernel's periodic tick
+// (250 Hz on the paper's CentOS 5.5 / Linux 2.6.32 guests), timers, kernel
+// threads and interrupt handling briefly wake every online VCPU even when
+// no application thread is bound to it.  These micro-wakes matter to the
+// scheduler experiments: they are the light, LLC-friendly, usually-UNDER
+// VCPUs that load balancing can shuffle around *instead of* the
+// memory-intensive ones — exactly the choice Algorithm 2's smallest-LLC-
+// pressure rule exists to make.  Without them the only steal candidates in
+// a synthetic scenario would be the measured applications themselves.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/app.hpp"
+
+namespace vprobe::wl {
+
+class GuestOsTicks {
+ public:
+  struct Config {
+    sim::Time tick_interval = sim::Time::ms(4);  ///< 250 Hz guest HZ
+    double instructions_per_tick = 50e3;         ///< ~20 us of housekeeping
+  };
+
+  /// One housekeeping thread per VCPU in `vcpus`.
+  GuestOsTicks(hv::Hypervisor& hv, hv::Domain& domain,
+               std::span<hv::Vcpu* const> vcpus);
+  GuestOsTicks(hv::Hypervisor& hv, hv::Domain& domain,
+               std::span<hv::Vcpu* const> vcpus, Config config);
+
+  void start();
+
+  int count() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  class TickThread : public ComputeThread {
+   public:
+    TickThread(Init init, sim::Time interval)
+        : ComputeThread(std::move(init)), interval_(interval) {}
+
+   protected:
+    hv::Outcome on_burst_end(sim::Time now) override {
+      (void)now;
+      return {hv::OutcomeKind::kBlockTimed, interval_};
+    }
+
+   private:
+    sim::Time interval_;
+  };
+
+  hv::Hypervisor* hv_;
+  std::vector<std::unique_ptr<TickThread>> threads_;
+  std::vector<hv::Vcpu*> vcpus_;
+};
+
+}  // namespace vprobe::wl

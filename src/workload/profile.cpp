@@ -1,0 +1,76 @@
+#include "workload/profile.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace vprobe::wl {
+namespace {
+
+constexpr std::int64_t kMB = 1024 * 1024;
+constexpr std::int64_t kGB = 1024 * kMB;
+
+// RPTI for the Figure-3 apps reproduces the paper's measured values; the
+// rest are consistent with their published memory characterisations.
+constexpr std::array kProfiles = {
+    // -- SPEC CPU2006 (single-threaded; paper runs 4 identical instances) ---
+    //            name        rpti  solo  sens   wset        footprint  instr   ph
+    AppProfile{"povray",      0.48, 0.015, 0.05, 1.0 * kMB,  256 * kMB, 22e9, 1},
+    AppProfile{"soplex",     17.20, 0.180, 0.55, 9.0 * kMB,  900 * kMB, 16e9, 4},
+    AppProfile{"libquantum", 22.41, 0.600, 0.10, 32.0 * kMB, 1 * kGB,   14e9, 1},
+    AppProfile{"mcf",        24.80, 0.520, 0.15, 20.0 * kMB, 1700 * kMB,13e9, 3},
+    AppProfile{"milc",       21.68, 0.550, 0.12, 24.0 * kMB, 700 * kMB, 14e9, 2},
+
+    // -- SPEC CPU2006, additional (not in the paper's figures) --------------
+    AppProfile{"lbm",        26.50, 0.700, 0.05, 40.0 * kMB, 400 * kMB, 12e9, 1},
+    AppProfile{"omnetpp",    14.10, 0.250, 0.40, 7.0 * kMB,  170 * kMB, 15e9, 2},
+    AppProfile{"gcc",         6.80, 0.120, 0.30, 4.0 * kMB,  900 * kMB, 18e9, 5},
+    AppProfile{"bzip2",       4.20, 0.080, 0.20, 3.0 * kMB,  850 * kMB, 19e9, 3},
+
+    // -- NPB (MPI/OpenMP kernels; paper runs them 4-threaded) ---------------
+    AppProfile{"ep",          2.01, 0.030, 0.08, 2.0 * kMB,  96 * kMB,  20e9, 1},
+    AppProfile{"bt",         12.40, 0.100, 0.45, 5.5 * kMB,  700 * kMB, 16e9, 2},
+    AppProfile{"cg",         19.10, 0.300, 0.35, 12.0 * kMB, 900 * kMB, 13e9, 1},
+    AppProfile{"lu",         15.38, 0.110, 0.55, 6.5 * kMB,  600 * kMB, 15e9, 2},
+    AppProfile{"mg",         16.33, 0.130, 0.50, 7.5 * kMB,  3300 * kMB,14e9, 2},
+    AppProfile{"sp",         17.80, 0.140, 0.60, 8.0 * kMB,  800 * kMB, 14e9, 2},
+    AppProfile{"ft",         18.90, 0.350, 0.30, 14.0 * kMB, 5000 * kMB,13e9, 1},
+    AppProfile{"is",         21.20, 0.450, 0.15, 18.0 * kMB, 1000 * kMB,10e9, 1},
+
+    // -- Server workloads -----------------------------------------------------
+    // Per-worker behaviour of a request-serving thread.
+    AppProfile{"memcached",   9.50, 0.140, 0.45, 4.5 * kMB,  512 * kMB, 1e18, 1},
+    AppProfile{"redis",      12.50, 0.200, 0.50, 6.0 * kMB,  768 * kMB, 1e18, 1},
+    // Load-generator client threads: light, cache-friendly.
+    AppProfile{"client",      1.20, 0.020, 0.05, 0.5 * kMB,  32 * kMB,  1e18, 1},
+
+    // -- Synthetic -------------------------------------------------------------
+    AppProfile{"hungry",      0.05, 0.010, 0.00, 64 * 1024,  8 * kMB,   1e18, 1},
+    // Guest-kernel housekeeping: tiny, cache-friendly, wakes constantly.
+    AppProfile{"osticker",    1.00, 0.020, 0.00, 128 * 1024, 16 * kMB,  1e18, 1},
+    AppProfile{"stream",     30.00, 0.800, 0.05, 48.0 * kMB, 2 * kGB,   12e9, 1},
+};
+
+constexpr std::array<std::string_view, 6> kFigure3 = {
+    "povray", "ep", "lu", "mg", "milc", "libquantum"};
+
+}  // namespace
+
+const AppProfile& profile(std::string_view name) {
+  for (const auto& p : kProfiles) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown app profile: " + std::string(name));
+}
+
+bool has_profile(std::string_view name) {
+  for (const auto& p : kProfiles) {
+    if (p.name == name) return true;
+  }
+  return false;
+}
+
+std::span<const AppProfile> all_profiles() { return kProfiles; }
+
+std::span<const std::string_view> figure3_apps() { return kFigure3; }
+
+}  // namespace vprobe::wl

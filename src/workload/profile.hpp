@@ -1,0 +1,50 @@
+// Application memory-behaviour profiles.
+//
+// A profile is the synthetic stand-in for a benchmark binary: everything the
+// simulator (and therefore the scheduler, which only sees PMU counters)
+// can observe about an application.  RPTI values for the six calibration
+// apps are taken from Figure 3(b) of the paper (povray 0.48, ep 2.01,
+// lu 15.38, mg 16.33, milc 21.68, libquantum 22.41); solo miss rates follow
+// Figure 3(a)'s classification (LLC-friendly ~1-3%, fitting ~10-15%,
+// thrashing >50%).  Remaining apps are assigned values consistent with
+// their published characterisations (SPEC CPU2006 / NPB working-set
+// studies): mcf and soplex are large-footprint memory hogs, bt/sp/cg/lu/mg
+// are cache-fitting NPB kernels, etc.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace vprobe::wl {
+
+struct AppProfile {
+  std::string_view name;
+  double rpti;                ///< LLC references per 1000 instructions
+  double solo_miss;           ///< LLC miss rate with no co-runners
+  double miss_sensitivity;    ///< miss-rate growth per unit LLC overcommit
+  double working_set_bytes;   ///< shared-cache demand per thread
+  std::int64_t footprint_bytes;  ///< data region size per thread/instance
+  double default_instructions;   ///< full-run length per thread/instance
+  int phases;                 ///< locality phases over the run (>=1)
+
+  /// The class the paper's Equation (3) assigns with low=3, high=20.
+  /// (Informational; the scheduler derives this at runtime from PMU data.)
+  bool is_llc_friendly() const { return rpti < 3.0; }
+  bool is_llc_thrashing() const { return rpti >= 20.0; }
+};
+
+/// Look up a profile by name; throws std::out_of_range for unknown names.
+const AppProfile& profile(std::string_view name);
+
+/// True when a profile with this name exists.
+bool has_profile(std::string_view name);
+
+/// All built-in profiles (for tests and listing).
+std::span<const AppProfile> all_profiles();
+
+/// The six calibration apps of Figure 3, in the paper's order.
+std::span<const std::string_view> figure3_apps();
+
+}  // namespace vprobe::wl

@@ -1,0 +1,27 @@
+#include "workload/spec.hpp"
+
+namespace vprobe::wl {
+
+SpecApp::SpecApp(hv::Hypervisor& hv, hv::Domain& domain, hv::Vcpu& vcpu,
+                 std::string_view profile_name, double instr_scale,
+                 std::string instance_name)
+    : hv_(&hv), vcpu_(&vcpu) {
+  const AppProfile& prof = profile(profile_name);
+  ComputeThread::Init init;
+  init.profile = &prof;
+  init.memory = &domain.memory();
+  init.region = domain.memory().alloc_region(prof.footprint_bytes);
+  init.total_instructions = prof.default_instructions * instr_scale;
+  init.phases = prof.phases;
+  init.name = instance_name.empty() ? std::string(profile_name) : std::move(instance_name);
+  thread_ = std::make_unique<ComputeThread>(init);
+  thread_->bind(hv, vcpu);
+  thread_->add_on_finish([this](sim::Time t) { finish_time_ = t; });
+}
+
+void SpecApp::start() {
+  start_time_ = hv_->now();
+  hv_->wake(*vcpu_);
+}
+
+}  // namespace vprobe::wl

@@ -1,0 +1,42 @@
+// SPEC-CPU2006-style single-threaded application instances.
+//
+// Each instance is one ComputeThread bound to one VCPU, with its data region
+// carved out of the owning VM's memory.  The paper runs four identical
+// instances per VM (six/two for mcf because of its 1.7 GB footprint).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "workload/app.hpp"
+
+namespace vprobe::wl {
+
+class SpecApp {
+ public:
+  /// `instr_scale` shrinks the run length (all instances in an experiment
+  /// must use the same scale for normalised results to be comparable).
+  SpecApp(hv::Hypervisor& hv, hv::Domain& domain, hv::Vcpu& vcpu,
+          std::string_view profile_name, double instr_scale = 1.0,
+          std::string instance_name = "");
+
+  /// Wake the VCPU and start executing.
+  void start();
+
+  const std::string& name() const { return thread_->name(); }
+  bool finished() const { return thread_->finished(); }
+  sim::Time start_time() const { return start_time_; }
+  sim::Time finish_time() const { return finish_time_; }
+  sim::Time runtime() const { return finish_time_ - start_time_; }
+  ComputeThread& thread() { return *thread_; }
+  hv::Vcpu& vcpu() { return *vcpu_; }
+
+ private:
+  hv::Hypervisor* hv_;
+  hv::Vcpu* vcpu_;
+  std::unique_ptr<ComputeThread> thread_;
+  sim::Time start_time_;
+  sim::Time finish_time_;
+};
+
+}  // namespace vprobe::wl

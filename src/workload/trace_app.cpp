@@ -1,0 +1,149 @@
+#include "workload/trace_app.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace vprobe::wl {
+
+double parse_scaled(std::string_view token) {
+  if (token.empty()) throw std::invalid_argument("empty numeric token");
+  double scale = 1.0;
+  switch (token.back()) {
+    case 'K': case 'k': scale = 1024.0; break;
+    case 'M': case 'm': scale = 1024.0 * 1024.0; break;
+    case 'G': case 'g': scale = 1024.0 * 1024.0 * 1024.0; break;
+    default: break;
+  }
+  if (scale != 1.0) token.remove_suffix(1);
+  const std::string body(token);
+  char* end = nullptr;
+  const double value = std::strtod(body.c_str(), &end);
+  if (end != body.c_str() + body.size()) {
+    throw std::invalid_argument("malformed number: " + body);
+  }
+  return value * scale;
+}
+
+std::vector<PhaseSpec> parse_workload_spec(std::string_view text) {
+  std::vector<PhaseSpec> phases;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word)) continue;
+
+    auto fail = [line_no](const std::string& what) -> std::invalid_argument {
+      return std::invalid_argument("workload spec line " +
+                                   std::to_string(line_no) + ": " + what);
+    };
+    if (word != "phase") throw fail("expected 'phase', got '" + word + "'");
+
+    PhaseSpec phase;
+    bool has_instr = false;
+    while (words >> word) {
+      const auto eq = word.find('=');
+      if (eq == std::string::npos) throw fail("expected key=value, got '" + word + "'");
+      const std::string k = word.substr(0, eq);
+      double v = 0.0;
+      try {
+        v = parse_scaled(word.substr(eq + 1));
+      } catch (const std::invalid_argument& e) {
+        throw fail(e.what());
+      }
+      if (k == "instr") {
+        phase.instructions = v;
+        has_instr = true;
+      } else if (k == "rpti") {
+        phase.rpti = v;
+      } else if (k == "miss") {
+        phase.solo_miss = v;
+      } else if (k == "sens") {
+        phase.miss_sensitivity = v;
+      } else if (k == "ws") {
+        phase.working_set_bytes = v;
+      } else if (k == "mem") {
+        phase.mem_bytes = static_cast<std::int64_t>(v);
+      } else {
+        throw fail("unknown field '" + k + "'");
+      }
+    }
+    if (!has_instr || phase.instructions <= 0.0) {
+      throw fail("a phase needs instr > 0");
+    }
+    if (phase.solo_miss < 0.0 || phase.solo_miss > 1.0) {
+      throw fail("miss must be in [0, 1]");
+    }
+    phases.push_back(phase);
+  }
+  if (phases.empty()) throw std::invalid_argument("workload spec has no phases");
+  return phases;
+}
+
+TraceApp::TraceApp(hv::Hypervisor& hv, hv::Domain& domain, hv::Vcpu& vcpu,
+                   std::vector<PhaseSpec> phases, std::string name)
+    : hv_(&hv),
+      vcpu_(&vcpu),
+      memory_(&domain.memory()),
+      name_(std::move(name)),
+      phases_(std::move(phases)) {
+  if (phases_.empty()) throw std::invalid_argument("TraceApp: no phases");
+  regions_.reserve(phases_.size());
+  std::vector<numa::Region> registered;
+  for (const PhaseSpec& p : phases_) {
+    const std::int64_t bytes =
+        std::max<std::int64_t>(p.mem_bytes, memory_->chunk_bytes());
+    regions_.push_back(memory_->alloc_region(bytes));
+    registered.push_back(regions_.back());
+  }
+  hv.bind_work(vcpu, *this);
+  hv.memory_map().register_vcpu(vcpu.id(), memory_, std::move(registered));
+}
+
+void TraceApp::start() {
+  start_time_ = hv_->now();
+  hv_->wake(*vcpu_);
+}
+
+hv::BurstPlan TraceApp::next_burst(sim::Time now) {
+  (void)now;
+  const PhaseSpec& p = phases_.at(static_cast<std::size_t>(phase_));
+  hv::BurstPlan plan;
+  plan.instructions = std::max(p.instructions - executed_in_phase_, 1.0);
+  plan.profile.rpti = p.rpti;
+  plan.profile.solo_miss = p.solo_miss;
+  plan.profile.miss_sensitivity = p.miss_sensitivity;
+  plan.profile.working_set_bytes = p.working_set_bytes;
+  const auto& frac =
+      memory_->node_fractions(regions_.at(static_cast<std::size_t>(phase_)));
+  frac_buf_.fill(0.0);
+  std::copy_n(frac.begin(), std::min(frac.size(), frac_buf_.size()),
+              frac_buf_.begin());
+  plan.profile.node_fractions =
+      std::span<const double>(frac_buf_.data(), frac_buf_.size());
+  return plan;
+}
+
+hv::Outcome TraceApp::advance(double instructions, sim::Time now) {
+  executed_in_phase_ += instructions;
+  const PhaseSpec& p = phases_.at(static_cast<std::size_t>(phase_));
+  if (executed_in_phase_ >= p.instructions - 0.5) {
+    executed_in_phase_ = 0.0;
+    ++phase_;
+    if (phase_ >= num_phases()) {
+      finished_ = true;
+      finish_time_ = now;
+      return {hv::OutcomeKind::kFinished};
+    }
+  }
+  return {hv::OutcomeKind::kContinue};
+}
+
+}  // namespace vprobe::wl

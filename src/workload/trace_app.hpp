@@ -1,0 +1,79 @@
+// Trace-driven application model.
+//
+// Lets downstream users describe their own application's phases in a small
+// text format instead of writing C++ — the bridge for modelling a workload
+// you profiled elsewhere (e.g. with perf):
+//
+//     # fields: instr (count), rpti (refs/kinstr), miss (solo LLC miss
+//     # rate), sens (miss growth per unit LLC overcommit), ws (working
+//     # set), mem (data size).  K/M/G suffixes are accepted.
+//     phase instr=2e9 rpti=18.5 miss=0.2 sens=0.5 ws=8M mem=512M
+//     phase instr=500e6 rpti=1.2 miss=0.02 sens=0.0 ws=512K mem=64M
+//
+// Each phase allocates its own data region (so phases may land on
+// different NUMA nodes) and executes its instruction budget with the given
+// memory behaviour; the app finishes after the last phase.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hv/hypervisor.hpp"
+#include "hv/work.hpp"
+
+namespace vprobe::wl {
+
+struct PhaseSpec {
+  double instructions = 0.0;
+  double rpti = 0.0;
+  double solo_miss = 0.0;
+  double miss_sensitivity = 0.0;
+  double working_set_bytes = 0.0;
+  std::int64_t mem_bytes = 0;
+};
+
+/// Parse the phase-spec text format.  Throws std::invalid_argument with a
+/// line number on malformed input.  Blank lines and '#' comments allowed.
+std::vector<PhaseSpec> parse_workload_spec(std::string_view text);
+
+/// Parse a scalar with optional K/M/G (binary) suffix, e.g. "512M", "2e9".
+double parse_scaled(std::string_view token);
+
+class TraceApp : public hv::VcpuWork {
+ public:
+  /// Allocates one region per phase from `domain`'s memory.
+  TraceApp(hv::Hypervisor& hv, hv::Domain& domain, hv::Vcpu& vcpu,
+           std::vector<PhaseSpec> phases, std::string name = "trace-app");
+
+  void start();
+
+  bool finished() const { return finished_; }
+  int current_phase() const { return phase_; }
+  int num_phases() const { return static_cast<int>(phases_.size()); }
+  sim::Time start_time() const { return start_time_; }
+  sim::Time finish_time() const { return finish_time_; }
+  sim::Time runtime() const { return finish_time_ - start_time_; }
+  const std::string& name() const { return name_; }
+
+  // -- VcpuWork ---------------------------------------------------------------
+  hv::BurstPlan next_burst(sim::Time now) override;
+  hv::Outcome advance(double instructions, sim::Time now) override;
+
+ private:
+  hv::Hypervisor* hv_;
+  hv::Vcpu* vcpu_;
+  numa::VmMemory* memory_;
+  std::string name_;
+  std::vector<PhaseSpec> phases_;
+  std::vector<numa::Region> regions_;
+  int phase_ = 0;
+  double executed_in_phase_ = 0.0;
+  bool finished_ = false;
+  sim::Time start_time_;
+  sim::Time finish_time_;
+  std::array<double, 8> frac_buf_{};
+};
+
+}  // namespace vprobe::wl

@@ -1,0 +1,490 @@
+// Behavioural and regression tests across modules: guest allocation modes,
+// credit economy details (domain weights, tick-sampled activity), Algorithm
+// 2's priority filter and locality modes, partitioner stability, barrier
+// regression, guest tickers, burst jitter determinism.
+#include <gtest/gtest.h>
+
+#include "core/autonuma_sched.hpp"
+#include "core/brm_sched.hpp"
+#include "core/numa_balance.hpp"
+#include "core/partitioner.hpp"
+#include "core/vprobe_sched.hpp"
+#include "runner/scenario.hpp"
+#include "test_helpers.hpp"
+#include "workload/npb.hpp"
+#include "workload/os_ticker.hpp"
+#include "workload/spec.hpp"
+
+namespace vprobe {
+namespace {
+
+using test::FakeWork;
+using test::kTestGB;
+constexpr std::int64_t kMB = 1024 * 1024;
+
+// ---------------------------------------------- Alternate guest allocs ----
+
+class AlternateAllocTest : public ::testing::Test {
+ protected:
+  numa::MachineConfig cfg_ = numa::MachineConfig::xeon_e5620();
+  numa::MemoryManager mm_{cfg_};
+};
+
+TEST_F(AlternateAllocTest, AlternatesBetweenLowAndHighEnds) {
+  numa::VmMemory vm(mm_, cfg_, 1 * kTestGB, numa::PlacementPolicy::kFillFirst);
+  vm.alternate_allocation(true);
+  const numa::Region a = vm.alloc_region(100 * kMB);
+  const numa::Region b = vm.alloc_region(100 * kMB);
+  const numa::Region c = vm.alloc_region(100 * kMB);
+  EXPECT_EQ(a.first_chunk, 0);
+  EXPECT_EQ(b.first_chunk + b.num_chunks, vm.total_chunks());
+  EXPECT_EQ(c.first_chunk, a.num_chunks);  // back to the low end
+}
+
+TEST_F(AlternateAllocTest, SpansNodesWhenVmSpansNodes) {
+  // 15 GB over two 12 GB nodes: front regions land node 0, back regions
+  // node 1 — the "split into two nodes" configuration of Section V-A1.
+  numa::VmMemory vm(mm_, cfg_, 15 * kTestGB, numa::PlacementPolicy::kFillFirst);
+  vm.alternate_allocation(true);
+  const numa::Region front = vm.alloc_region(1 * kTestGB);
+  const numa::Region back = vm.alloc_region(1 * kTestGB);
+  EXPECT_DOUBLE_EQ(vm.node_fractions(front)[0], 1.0);
+  EXPECT_DOUBLE_EQ(vm.node_fractions(back)[1], 1.0);
+}
+
+TEST_F(AlternateAllocTest, AllocatedChunksCountsBothEnds) {
+  numa::VmMemory vm(mm_, cfg_, 1 * kTestGB, numa::PlacementPolicy::kFillFirst);
+  vm.alternate_allocation(true);
+  const auto a = vm.alloc_region(100 * kMB);
+  const auto b = vm.alloc_region(100 * kMB);
+  EXPECT_EQ(vm.allocated_chunks(), a.num_chunks + b.num_chunks);
+}
+
+TEST_F(AlternateAllocTest, FrontAndBackCollideCleanly) {
+  numa::VmMemory vm(mm_, cfg_, 64 * kMB, numa::PlacementPolicy::kFillFirst);
+  vm.alternate_allocation(true);
+  vm.alloc_region(28 * kMB);
+  vm.alloc_region(28 * kMB);
+  EXPECT_THROW(vm.alloc_region(28 * kMB), std::bad_alloc);
+}
+
+// ------------------------------------------------------ Credit economy ----
+
+TEST(CreditEconomy, HeavierDomainGetsMoreCpu) {
+  auto hv = test::make_credit_hv();
+  hv::Domain& heavy = hv->create_domain("heavy", 2 * kTestGB, 4,
+                                        numa::PlacementPolicy::kFillFirst, 0);
+  hv::Domain& light = hv->create_domain("light", 2 * kTestGB, 4,
+                                        numa::PlacementPolicy::kFillFirst, 1);
+  heavy.weight = 512;
+  light.weight = 128;
+  std::vector<std::unique_ptr<FakeWork>> works;
+  for (std::size_t i = 0; i < 4; ++i) {
+    works.push_back(std::make_unique<FakeWork>());
+    hv->bind_work(heavy.vcpu(i), *works.back());
+    works.push_back(std::make_unique<FakeWork>());
+    hv->bind_work(light.vcpu(i), *works.back());
+  }
+  // Oversubscribe two PCPUs' worth of demand... run everything on the
+  // 8-PCPU machine: 8 spinners on 8 PCPUs would not contend, so double up.
+  hv::Domain& extra = hv->create_domain("extra", 2 * kTestGB, 8,
+                                        numa::PlacementPolicy::kFillFirst, 0);
+  extra.weight = 256;
+  for (std::size_t i = 0; i < 8; ++i) {
+    works.push_back(std::make_unique<FakeWork>());
+    hv->bind_work(extra.vcpu(i), *works.back());
+  }
+  hv->start();
+  for (std::size_t i = 0; i < 4; ++i) {
+    hv->wake(heavy.vcpu(i));
+    hv->wake(light.vcpu(i));
+  }
+  for (std::size_t i = 0; i < 8; ++i) hv->wake(extra.vcpu(i));
+  hv->engine().run_until(sim::Time::sec(5));
+
+  sim::Time heavy_cpu, light_cpu;
+  for (std::size_t i = 0; i < 4; ++i) {
+    heavy_cpu += heavy.vcpu(i).cpu_time;
+    light_cpu += light.vcpu(i).cpu_time;
+  }
+  EXPECT_GT(heavy_cpu.to_seconds(), light_cpu.to_seconds() * 1.5)
+      << "a 4x weight should yield substantially more CPU under contention";
+}
+
+TEST(CreditEconomy, MostlyIdleVcpusDoNotDiluteTheirDomainShare) {
+  // Two domains, equally weighted.  Domain A: 2 spinners.  Domain B: 2
+  // spinners + 6 housekeeping tickers (~0.5% duty).  With Xen's sampled
+  // activity the tickers earn nothing, so B's spinners get nearly the same
+  // share as A's.
+  auto hv = test::make_credit_hv();
+  hv::Domain& a = hv->create_domain("A", 2 * kTestGB, 2,
+                                    numa::PlacementPolicy::kFillFirst, 0);
+  hv::Domain& b = hv->create_domain("B", 2 * kTestGB, 8,
+                                    numa::PlacementPolicy::kFillFirst, 1);
+  // Saturate the machine so shares matter.
+  hv::Domain& filler = hv->create_domain("filler", 2 * kTestGB, 16,
+                                         numa::PlacementPolicy::kFillFirst, 0);
+  std::vector<std::unique_ptr<FakeWork>> works;
+  auto spin = [&](hv::Vcpu& v) {
+    works.push_back(std::make_unique<FakeWork>());
+    hv->bind_work(v, *works.back());
+  };
+  spin(a.vcpu(0));
+  spin(a.vcpu(1));
+  spin(b.vcpu(0));
+  spin(b.vcpu(1));
+  for (std::size_t i = 0; i < 16; ++i) spin(filler.vcpu(i));
+  std::vector<hv::Vcpu*> spare;
+  for (std::size_t i = 2; i < 8; ++i) spare.push_back(&b.vcpu(i));
+  wl::GuestOsTicks ticks(*hv, b, spare);
+
+  hv->start();
+  hv->wake(a.vcpu(0));
+  hv->wake(a.vcpu(1));
+  hv->wake(b.vcpu(0));
+  hv->wake(b.vcpu(1));
+  for (std::size_t i = 0; i < 16; ++i) hv->wake(filler.vcpu(i));
+  ticks.start();
+  hv->engine().run_until(sim::Time::sec(5));
+
+  const double a_cpu = (a.vcpu(0).cpu_time + a.vcpu(1).cpu_time).to_seconds();
+  const double b_cpu = (b.vcpu(0).cpu_time + b.vcpu(1).cpu_time).to_seconds();
+  EXPECT_NEAR(b_cpu / a_cpu, 1.0, 0.25)
+      << "tickers must not eat domain B's credit share";
+}
+
+// ----------------------------------------------- Algorithm 2 behaviours ----
+
+class BalancerModes : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hv_ = test::make_credit_hv();
+    dom_ = &hv_->create_domain("VM", 8 * kTestGB, 8,
+                               numa::PlacementPolicy::kFillFirst, 0);
+  }
+  hv::Vcpu& queued(std::size_t i, numa::PcpuId pcpu, double pressure,
+                   hv::CreditPrio prio = hv::CreditPrio::kUnder) {
+    hv::Vcpu& v = dom_->vcpu(i);
+    v.state = hv::VcpuState::kRunnable;
+    v.llc_pressure = pressure;
+    v.priority = prio;
+    v.pcpu = pcpu;
+    hv_->pcpu(pcpu).queue.insert(v);
+    return v;
+  }
+  std::unique_ptr<hv::Hypervisor> hv_;
+  hv::Domain* dom_ = nullptr;
+  core::NumaAwareBalancer balancer_;
+};
+
+TEST_F(BalancerModes, PriorityFilterSkipsWeakCandidates) {
+  queued(0, 1, 1.0, hv::CreditPrio::kOver);   // cheap but OVER
+  hv::Vcpu& eligible = queued(1, 1, 25.0, hv::CreditPrio::kUnder);
+  hv::Vcpu* got = balancer_.steal(*hv_, hv_->pcpu(0),
+                                  static_cast<int>(hv::CreditPrio::kOver));
+  EXPECT_EQ(got, &eligible)
+      << "fairness steal must not take an OVER VCPU even if cheaper";
+}
+
+TEST_F(BalancerModes, IdleStealAcceptsAnyPriority) {
+  hv::Vcpu& over = queued(0, 1, 1.0, hv::CreditPrio::kOver);
+  hv::Vcpu* got = balancer_.steal(*hv_, hv_->pcpu(0));
+  EXPECT_EQ(got, &over);
+}
+
+TEST_F(BalancerModes, LocalOnlyNeverCrossesNodes) {
+  queued(0, 5, 1.0);  // node 1
+  hv::Vcpu* got = balancer_.steal(
+      *hv_, hv_->pcpu(0), static_cast<int>(hv::CreditPrio::kOver) + 1,
+      /*local_only=*/true);
+  EXPECT_EQ(got, nullptr);
+  // Without the restriction the same candidate is taken.
+  EXPECT_NE(balancer_.steal(*hv_, hv_->pcpu(0)), nullptr);
+}
+
+TEST_F(BalancerModes, LivePressureUsesCurrentWindow) {
+  hv::Vcpu& v = dom_->vcpu(0);
+  v.llc_pressure = 3.0;  // stale period value
+  v.pmu.begin_window();
+  pmu::CounterSet c;
+  c.instr_retired = 1e8;
+  c.llc_refs = 2.5e6;  // 25 per kinstr right now
+  v.pmu.add(c);
+  EXPECT_NEAR(core::NumaAwareBalancer::live_pressure(v), 25.0, 1e-9);
+}
+
+TEST_F(BalancerModes, LivePressureFallsBackWhenIdle) {
+  hv::Vcpu& v = dom_->vcpu(0);
+  v.llc_pressure = 7.5;
+  v.pmu.begin_window();  // nothing ran this window
+  EXPECT_DOUBLE_EQ(core::NumaAwareBalancer::live_pressure(v), 7.5);
+}
+
+// ------------------------------------------------ Partitioner stability ----
+
+TEST(PartitionerStability, SecondPassIsANoOp) {
+  auto hv = test::make_credit_hv();
+  hv::Domain& dom = hv->create_domain("VM", 8 * kTestGB, 8,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  std::vector<std::unique_ptr<FakeWork>> works;
+  for (std::size_t i = 0; i < 8; ++i) {
+    works.push_back(std::make_unique<FakeWork>());
+    hv->bind_work(dom.vcpu(i), *works.back());
+    dom.vcpu(i).vcpu_type = hv::VcpuType::kLlcFitting;
+    dom.vcpu(i).node_affinity = static_cast<numa::NodeId>(i % 2);
+  }
+  hv->start();
+  core::PeriodicalPartitioner partitioner;
+  partitioner.partition(*hv);
+  hv->engine().run_until(sim::Time::ms(1));
+  const auto second = partitioner.partition(*hv);
+  EXPECT_EQ(second.cross_node_moves, 0)
+      << "a stable population must not be reshuffled every period";
+}
+
+// ------------------------------------------------------ BRM edge cases ----
+
+TEST(BrmEdge, PenaltyZeroWithoutSamples) {
+  hv::Domain dom(1, "d", nullptr);
+  hv::Vcpu& v = dom.add_vcpu(0);
+  v.pmu.begin_window();
+  EXPECT_DOUBLE_EQ(core::BrmScheduler::uncore_penalty(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(core::BrmScheduler::uncore_penalty(v, 1), 0.0);
+}
+
+TEST(BrmEdge, PenaltyZeroForCpuBoundVcpu) {
+  hv::Domain dom(1, "d", nullptr);
+  hv::Vcpu& v = dom.add_vcpu(0);
+  v.pmu.begin_window();
+  pmu::CounterSet c;
+  c.instr_retired = 1e9;  // no memory accesses at all
+  v.pmu.add(c);
+  EXPECT_DOUBLE_EQ(core::BrmScheduler::uncore_penalty(v, 0), 0.0);
+}
+
+// ------------------------------------------------------ NPB regression ----
+
+TEST(NpbRegression, ThreadExitReleasesBarrierWaiters) {
+  // Regression for a real deadlock: floating-point rounding can leave one
+  // thread arriving at the final barrier while its siblings finish instead
+  // of arriving.  The app must still terminate.
+  auto hv = test::make_credit_hv(3);
+  hv::Domain& dom = hv->create_domain("VM1", 6 * kTestGB, 4,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  wl::NpbApp::Config cfg;
+  cfg.profile = "sp";
+  cfg.instr_scale = 0.008;
+  cfg.iteration_instructions = 7e6;  // deliberately not a divisor-friendly size
+  auto vcpus = test::domain_vcpus(dom);
+  wl::NpbApp app(*hv, dom, cfg, vcpus);
+  hv->start();
+  app.start();
+  hv->engine().run_until(sim::Time::sec(300));
+  EXPECT_TRUE(app.finished()) << "barrier must release when siblings exit";
+}
+
+// -------------------------------------------------------- Guest tickers ----
+
+TEST(GuestTicks, LowDutyHighWakeRate) {
+  auto hv = test::make_credit_hv();
+  hv::Domain& dom = hv->create_domain("VM", 2 * kTestGB, 4,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  auto vcpus = test::domain_vcpus(dom);
+  wl::GuestOsTicks ticks(*hv, dom, vcpus);
+  hv->start();
+  ticks.start();
+  hv->engine().run_until(sim::Time::sec(1));
+  for (std::size_t i = 0; i < 4; ++i) {
+    const hv::Vcpu& v = dom.vcpu(i);
+    EXPECT_GT(v.wakeups, 200u) << "a 250 Hz ticker wakes ~250x per second";
+    EXPECT_LT(v.cpu_time.to_seconds(), 0.05) << "but burns well under 5% CPU";
+  }
+}
+
+// ---------------------------------------------------- Burst jitter/rng ----
+
+TEST(BurstJitter, DeterministicPerThreadAndUnbiased) {
+  auto run_once = [&] {
+    auto hv = test::make_credit_hv(11);
+    hv::Domain& dom = hv->create_domain("VM", 4 * kTestGB, 1,
+                                        numa::PlacementPolicy::kFillFirst, 0);
+    wl::SpecApp app(*hv, dom, dom.vcpu(0), "milc", 0.01);
+    hv->start();
+    app.start();
+    hv->engine().run_until(sim::Time::sec(120));
+    EXPECT_TRUE(app.finished());
+    const auto& c = dom.vcpu(0).pmu.cumulative();
+    return c.llc_refs / c.instr_retired * 1000.0;
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_DOUBLE_EQ(a, b) << "burst jitter must be deterministic";
+  // Long-run average converges to the profile RPTI (unbiased jitter).
+  EXPECT_NEAR(a, wl::profile("milc").rpti, 1.0);
+}
+
+// ------------------------------------------------- Phase region override ----
+
+TEST(PhaseRegions, ScatteredPhasesChangeAffinity) {
+  auto hv = test::make_credit_hv();
+  hv::Domain& dom = hv->create_domain("VM", 15 * kTestGB, 1,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  dom.memory().alternate_allocation(true);
+  const wl::AppProfile& prof = wl::profile("milc");
+  wl::ComputeThread::Init init;
+  init.profile = &prof;
+  init.memory = &dom.memory();
+  init.region = dom.memory().alloc_region(64 * kMB);
+  init.phase_regions.push_back(dom.memory().alloc_region(1 * kTestGB));  // back: node 1
+  init.phase_regions.push_back(dom.memory().alloc_region(1 * kTestGB));  // front: node 0
+  init.shared_fraction = 0.0;
+  init.total_instructions = 100e6;
+  init.burstiness = 0.0;
+  wl::ComputeThread thread(init);
+  thread.bind(*hv, dom.vcpu(0));
+  hv->start();
+  hv->wake(dom.vcpu(0));
+  hv->engine().run_until(sim::Time::sec(60));
+  ASSERT_TRUE(thread.finished());
+  // Both phases executed; accesses must hit both nodes (phase 0's region is
+  // a back allocation on node 1, phase 1's a front allocation on node 0).
+  const auto& c = dom.vcpu(0).pmu.cumulative();
+  EXPECT_GT(c.mem_accesses[0], 0.0);
+  EXPECT_GT(c.mem_accesses[1], 0.0);
+}
+
+// ------------------------------------------------------------- Pinning ----
+
+TEST(Pinning, MaskHelpers) {
+  hv::Domain dom(1, "d", nullptr);
+  hv::Vcpu& v = dom.add_vcpu(0);
+  EXPECT_FALSE(v.is_pinned());
+  EXPECT_TRUE(v.allowed_on(0));
+  EXPECT_TRUE(v.allowed_on(7));
+  v.pin_to(3);
+  EXPECT_TRUE(v.is_pinned());
+  EXPECT_TRUE(v.allowed_on(3));
+  EXPECT_FALSE(v.allowed_on(2));
+  EXPECT_FALSE(v.allowed_on(-1));
+}
+
+TEST(Pinning, PinnedVcpuNeverLeavesItsPcpu) {
+  auto hv = test::make_credit_hv();
+  hv::Domain& dom = hv->create_domain("VM", 4 * kTestGB, 8,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  std::vector<std::unique_ptr<FakeWork>> works;
+  for (std::size_t i = 0; i < 8; ++i) {
+    works.push_back(std::make_unique<FakeWork>());
+    works.back()->burst = 4e6;
+    works.back()->block_for = sim::Time::ms(1);  // churny
+    hv->bind_work(dom.vcpu(i), *works.back());
+  }
+  dom.vcpu(0).pin_to(5);
+  hv->start();
+  for (std::size_t i = 0; i < 8; ++i) hv->wake(dom.vcpu(i));
+  hv->engine().run_until(sim::Time::sec(2));
+  EXPECT_EQ(dom.vcpu(0).pcpu, 5);
+  EXPECT_EQ(dom.vcpu(0).migrations, 0u);
+  EXPECT_GT(works[0]->executed, 0.0);
+}
+
+TEST(Pinning, MigrateToForbiddenNodeIsANoOp) {
+  auto hv = test::make_fifo_hv();
+  hv::Domain& dom = hv->create_domain("VM", 2 * kTestGB, 1,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  FakeWork work;
+  hv->bind_work(dom.vcpu(0), work);
+  dom.vcpu(0).pin_to(2);  // node 0
+  hv->start();
+  hv->wake(dom.vcpu(0));
+  hv->engine().run_until(sim::Time::ms(100));
+  hv->migrate_to_node(dom.vcpu(0), 1);  // no allowed PCPU there
+  hv->engine().run_until(sim::Time::ms(200));
+  EXPECT_EQ(dom.vcpu(0).pcpu, 2);
+  EXPECT_EQ(dom.vcpu(0).cross_node_migrations, 0u);
+}
+
+TEST(Pinning, WakeRelocatesIntoMask) {
+  auto hv = test::make_fifo_hv();
+  hv::Domain& dom = hv->create_domain("VM", 2 * kTestGB, 1,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  FakeWork work;
+  work.burst = 3e6;
+  hv->bind_work(dom.vcpu(0), work);
+  hv->start();
+  hv->wake(dom.vcpu(0));
+  hv->engine().run_until(sim::Time::sec(1));
+  ASSERT_EQ(dom.vcpu(0).state, hv::VcpuState::kBlocked);
+  // Pin while asleep to a PCPU it is not on; the wake must honour the mask.
+  const numa::PcpuId target = dom.vcpu(0).pcpu == 6 ? 7 : 6;
+  dom.vcpu(0).pin_to(target);
+  hv->wake(dom.vcpu(0));
+  hv->engine().run_until(hv->now() + sim::Time::ms(100));
+  EXPECT_EQ(dom.vcpu(0).pcpu, target);
+}
+
+// ------------------------------------------------------------ AutoNUMA ----
+
+TEST(AutoNuma, FactoryAndName) {
+  auto sched = runner::make_scheduler(runner::SchedKind::kAutoNuma);
+  EXPECT_STREQ(sched->name(), "AutoNUMA");
+  EXPECT_EQ(runner::all_schedulers().size(), runner::paper_schedulers().size() + 1);
+}
+
+TEST(AutoNuma, GreedilyFollowsMemory) {
+  auto hv = runner::make_hypervisor(runner::SchedKind::kAutoNuma, 7);
+  // Background spinners so nothing steals the subject back.
+  hv::Domain& bg = hv->create_domain("BG", 1 * kTestGB, 8,
+                                     numa::PlacementPolicy::kFillFirst, 0);
+  std::vector<std::unique_ptr<FakeWork>> spinners;
+  for (std::size_t i = 0; i < 8; ++i) {
+    spinners.push_back(std::make_unique<FakeWork>());
+    hv->bind_work(bg.vcpu(i), *spinners.back());
+  }
+  hv::Domain& dom = hv->create_domain("VM", 2 * kTestGB, 1,
+                                      numa::PlacementPolicy::kOnNode, 1);
+  FakeWork work;
+  work.rpti = 22.0;
+  work.solo_miss = 0.5;
+  work.working_set = 20e6;
+  static const std::vector<double> on_node1 = {0.0, 1.0};
+  work.fractions = on_node1;
+  hv->bind_work(dom.vcpu(0), work);
+  hv->start();
+  for (std::size_t i = 0; i < 8; ++i) hv->wake(bg.vcpu(i));
+  hv->wake(dom.vcpu(0));
+  // Wherever it boots, within a few periods AutoNUMA must pull it to its
+  // data on node 1 — and keep it there.
+  hv->engine().run_until(sim::Time::seconds(3.5));
+  EXPECT_EQ(hv->topology().node_of(dom.vcpu(0).pcpu), 1);
+  auto& sched = static_cast<core::AutoNumaScheduler&>(hv->scheduler());
+  EXPECT_LE(sched.task_migrations(), 3u) << "greedy pull should settle quickly";
+}
+
+TEST(AutoNuma, ChargesSamplingOverhead) {
+  auto hv = runner::make_hypervisor(runner::SchedKind::kAutoNuma, 7);
+  hv::Domain& dom = hv->create_domain("VM", 2 * kTestGB, 2,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  FakeWork w0, w1;
+  hv->bind_work(dom.vcpu(0), w0);
+  hv->bind_work(dom.vcpu(1), w1);
+  hv->start();
+  hv->wake(dom.vcpu(0));
+  hv->wake(dom.vcpu(1));
+  hv->engine().run_until(sim::Time::seconds(2.5));
+  EXPECT_GT(hv->overhead().bucket(hv::OverheadBucket::kPmuCollection),
+            sim::Time::us(100));
+}
+
+// ----------------------------------------------------- Overhead strings ----
+
+TEST(Strings, EnumNames) {
+  EXPECT_STREQ(hv::to_string(hv::VcpuState::kRunnable), "runnable");
+  EXPECT_STREQ(hv::to_string(hv::VcpuState::kDone), "done");
+  EXPECT_STREQ(hv::to_string(hv::CreditPrio::kBoost), "BOOST");
+  EXPECT_STREQ(hv::to_string(hv::VcpuType::kLlcThrashing), "LLC-T");
+  EXPECT_STREQ(numa::to_string(numa::PlacementPolicy::kFirstTouch), "first-touch");
+}
+
+}  // namespace
+}  // namespace vprobe

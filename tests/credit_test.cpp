@@ -1,0 +1,152 @@
+// Credit scheduler behaviour tests: credits/priorities, boost, fairness,
+// and NUMA-oblivious stealing.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace vprobe::hv {
+namespace {
+
+using test::FakeWork;
+using test::kTestGB;
+using test::make_credit_hv;
+
+class CreditTest : public ::testing::Test {
+ protected:
+  void SetUp() override { hv_ = make_credit_hv(); }
+
+  Domain& make_domain(int vcpus, numa::NodeId node = 0) {
+    return hv_->create_domain("VM" + std::to_string(++doms_), 2 * kTestGB,
+                              vcpus, numa::PlacementPolicy::kFillFirst, node);
+  }
+
+  FakeWork& spin_forever(Vcpu& v) {
+    works_.push_back(std::make_unique<FakeWork>());
+    hv_->bind_work(v, *works_.back());
+    return *works_.back();
+  }
+
+  std::unique_ptr<Hypervisor> hv_;
+  std::vector<std::unique_ptr<FakeWork>> works_;
+  int doms_ = 0;
+};
+
+TEST_F(CreditTest, NewVcpuStartsUnderWithZeroCredits) {
+  Domain& dom = make_domain(1);
+  EXPECT_EQ(dom.vcpu(0).priority, CreditPrio::kUnder);
+  EXPECT_DOUBLE_EQ(dom.vcpu(0).credits, 0.0);
+}
+
+TEST_F(CreditTest, AccountingGrantsCredits) {
+  Domain& dom = make_domain(2);
+  spin_forever(dom.vcpu(0));
+  spin_forever(dom.vcpu(1));
+  hv_->start();
+  hv_->wake(dom.vcpu(0));
+  hv_->wake(dom.vcpu(1));
+  hv_->engine().run_until(sim::Time::ms(35));
+  // 2 active VCPUs share 8 PCPUs' worth of credit: they pile up fast and
+  // stay clamped at the cap.
+  EXPECT_GT(dom.vcpu(0).credits, 0.0);
+}
+
+TEST_F(CreditTest, RunningBurnsCredits) {
+  Domain& dom = make_domain(1);
+  spin_forever(dom.vcpu(0));
+  hv_->start();
+  hv_->wake(dom.vcpu(0));
+  const double before = dom.vcpu(0).credits;
+  hv_->engine().run_until(sim::Time::ms(15));  // one tick, no accounting yet
+  EXPECT_LT(dom.vcpu(0).credits, before);
+}
+
+TEST_F(CreditTest, OversubscribedVcpusGoOverAndShareFairly) {
+  // 24 spinners on 8 PCPUs: per-VCPU share is 1/3 of a PCPU, so everyone's
+  // credits trend negative (OVER) but CPU time stays even.
+  Domain& dom1 = make_domain(8, 0);
+  Domain& dom2 = make_domain(8, 1);
+  Domain& dom3 = make_domain(8, 1);
+  for (auto* d : {&dom1, &dom2, &dom3}) {
+    for (std::size_t i = 0; i < 8; ++i) spin_forever(d->vcpu(i));
+  }
+  hv_->start();
+  for (auto* d : {&dom1, &dom2, &dom3}) {
+    for (std::size_t i = 0; i < 8; ++i) hv_->wake(d->vcpu(i));
+  }
+  hv_->engine().run_until(sim::Time::sec(3));
+
+  double min_exec = 1e300, max_exec = 0.0;
+  for (auto& w : works_) {
+    min_exec = std::min(min_exec, w->executed);
+    max_exec = std::max(max_exec, w->executed);
+  }
+  EXPECT_GT(min_exec, 0.0);
+  EXPECT_LT(max_exec / min_exec, 1.6) << "Credit fairness drifted";
+}
+
+TEST_F(CreditTest, WakeBoostsUnderVcpu) {
+  Domain& dom = make_domain(2);
+  FakeWork& sleeper = spin_forever(dom.vcpu(0));
+  sleeper.burst = 1e6;  // blocks quickly
+  spin_forever(dom.vcpu(1));
+  hv_->start();
+  hv_->wake(dom.vcpu(0));
+  hv_->engine().run_until(sim::Time::ms(10));
+  ASSERT_EQ(dom.vcpu(0).state, VcpuState::kBlocked);
+  hv_->wake(dom.vcpu(0));
+  EXPECT_EQ(dom.vcpu(0).priority, CreditPrio::kBoost);
+}
+
+TEST_F(CreditTest, IdlePcpuStealsQueuedWork) {
+  // Two spinners booted onto node 0; node 1 is idle and must pull one over.
+  Domain& dom = make_domain(2, 0);
+  spin_forever(dom.vcpu(0));
+  spin_forever(dom.vcpu(1));
+  // Force both onto the same PCPU queue.
+  dom.vcpu(0).pcpu = 0;
+  dom.vcpu(1).pcpu = 0;
+  hv_->start();
+  hv_->wake(dom.vcpu(0));
+  hv_->wake(dom.vcpu(1));
+  hv_->engine().run_until(sim::Time::ms(200));
+  // Both should be running on *different* PCPUs now.
+  EXPECT_EQ(dom.vcpu(0).state, VcpuState::kRunning);
+  EXPECT_EQ(dom.vcpu(1).state, VcpuState::kRunning);
+  EXPECT_NE(dom.vcpu(0).pcpu, dom.vcpu(1).pcpu);
+}
+
+TEST_F(CreditTest, CreditStealIsNumaOblivious) {
+  // 16 spinners across the machine under Credit: with churn from blocking
+  // workloads, cross-node migrations happen freely.
+  Domain& dom = make_domain(8, 0);
+  Domain& dom2 = make_domain(8, 0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    FakeWork& w = spin_forever(dom.vcpu(i));
+    w.burst = 4e6;
+    w.block_for = sim::Time::ms(1);
+    spin_forever(dom2.vcpu(i));
+  }
+  hv_->start();
+  for (std::size_t i = 0; i < 8; ++i) {
+    hv_->wake(dom.vcpu(i));
+    hv_->wake(dom2.vcpu(i));
+  }
+  hv_->engine().run_until(sim::Time::sec(2));
+  EXPECT_GT(hv_->total_cross_node_migrations(), 0u)
+      << "plain Credit should migrate across nodes without hesitation";
+}
+
+TEST_F(CreditTest, BlockedVcpusDoNotEatCpu) {
+  Domain& dom = make_domain(2);
+  FakeWork& active = spin_forever(dom.vcpu(0));
+  spin_forever(dom.vcpu(1));  // never woken
+  hv_->start();
+  hv_->wake(dom.vcpu(0));
+  hv_->engine().run_until(sim::Time::sec(1));
+  EXPECT_GT(active.executed, 0.0);
+  EXPECT_DOUBLE_EQ(works_[1]->executed, 0.0);
+  EXPECT_EQ(dom.vcpu(1).state, VcpuState::kBlocked);
+}
+
+}  // namespace
+}  // namespace vprobe::hv

@@ -1,0 +1,184 @@
+// Tests for the data-format layers: the JSON writer, RunMetrics
+// serialisation, the workload-spec parser and the trace-driven app.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runner/scenario.hpp"
+#include "stats/json.hpp"
+#include "test_helpers.hpp"
+#include "workload/trace_app.hpp"
+
+namespace vprobe {
+namespace {
+
+using test::kTestGB;
+
+// ---------------------------------------------------------- JsonWriter ----
+
+TEST(Json, ObjectsArraysAndCommas) {
+  std::ostringstream os;
+  stats::JsonWriter json(os);
+  json.begin_object()
+      .member("a", std::int64_t{1})
+      .member("b", "two")
+      .key("c")
+      .begin_array()
+      .value(std::int64_t{1})
+      .value(std::int64_t{2})
+      .end_array()
+      .member("d", true)
+      .end_object();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":"two","c":[1,2],"d":true})");
+  EXPECT_EQ(json.depth(), 0);
+}
+
+TEST(Json, EscapesControlAndQuotes) {
+  EXPECT_EQ(stats::JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(stats::JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  stats::JsonWriter json(os);
+  json.begin_array()
+      .value(1.5)
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::nan(""))
+      .end_array();
+  EXPECT_EQ(os.str(), "[1.5,null,null]");
+}
+
+TEST(Json, NestedObjects) {
+  std::ostringstream os;
+  stats::JsonWriter json(os);
+  json.begin_object().key("outer").begin_object().member("x", std::int64_t{7})
+      .end_object().end_object();
+  EXPECT_EQ(os.str(), R"({"outer":{"x":7}})");
+}
+
+TEST(Json, RunMetricsRoundTripFields) {
+  stats::RunMetrics m;
+  m.scheduler = "vProbe";
+  m.workload = "spec:soplex";
+  m.avg_runtime_s = 7.5;
+  m.total_mem_accesses = 100;
+  m.remote_mem_accesses = 25;
+  m.completed = true;
+  m.app_runtime_s["soplex#0"] = 7.5;
+  const std::string json = stats::to_json(m);
+  EXPECT_NE(json.find(R"("scheduler":"vProbe")"), std::string::npos);
+  EXPECT_NE(json.find(R"("remote_access_ratio":0.25)"), std::string::npos);
+  EXPECT_NE(json.find(R"("soplex#0":7.5)"), std::string::npos);
+  EXPECT_NE(json.find(R"("completed":true)"), std::string::npos);
+}
+
+// --------------------------------------------------------- parse_scaled ----
+
+TEST(WorkloadSpec, ParseScaledSuffixes) {
+  EXPECT_DOUBLE_EQ(wl::parse_scaled("512"), 512.0);
+  EXPECT_DOUBLE_EQ(wl::parse_scaled("2K"), 2048.0);
+  EXPECT_DOUBLE_EQ(wl::parse_scaled("3M"), 3.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(wl::parse_scaled("1g"), 1024.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(wl::parse_scaled("2e9"), 2e9);
+  EXPECT_DOUBLE_EQ(wl::parse_scaled("0.5"), 0.5);
+}
+
+TEST(WorkloadSpec, ParseScaledRejectsGarbage) {
+  EXPECT_THROW(wl::parse_scaled(""), std::invalid_argument);
+  EXPECT_THROW(wl::parse_scaled("12x3"), std::invalid_argument);
+  EXPECT_THROW(wl::parse_scaled("abc"), std::invalid_argument);
+}
+
+// ------------------------------------------------- parse_workload_spec ----
+
+TEST(WorkloadSpec, ParsesPhasesWithCommentsAndBlanks) {
+  const auto phases = wl::parse_workload_spec(R"(
+# a profiled analytics job
+phase instr=2e9 rpti=18.5 miss=0.2 sens=0.5 ws=8M mem=512M
+
+phase instr=500e6 rpti=1.2 miss=0.02  # cool-down phase
+)");
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(phases[0].instructions, 2e9);
+  EXPECT_DOUBLE_EQ(phases[0].rpti, 18.5);
+  EXPECT_DOUBLE_EQ(phases[0].working_set_bytes, 8.0 * 1024 * 1024);
+  EXPECT_EQ(phases[0].mem_bytes, 512ll * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(phases[1].solo_miss, 0.02);
+  EXPECT_EQ(phases[1].mem_bytes, 0);  // defaulted
+}
+
+TEST(WorkloadSpec, RejectsMalformedInput) {
+  EXPECT_THROW(wl::parse_workload_spec(""), std::invalid_argument);
+  EXPECT_THROW(wl::parse_workload_spec("phose instr=1e9"), std::invalid_argument);
+  EXPECT_THROW(wl::parse_workload_spec("phase rpti=2"), std::invalid_argument);
+  EXPECT_THROW(wl::parse_workload_spec("phase instr=1e9 bogus=3"),
+               std::invalid_argument);
+  EXPECT_THROW(wl::parse_workload_spec("phase instr=1e9 miss=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(wl::parse_workload_spec("phase instr=1e9 rpti"),
+               std::invalid_argument);
+}
+
+TEST(WorkloadSpec, ErrorsCarryLineNumbers) {
+  try {
+    wl::parse_workload_spec("phase instr=1e9\nphase instr=0");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------ TraceApp ----
+
+TEST(TraceAppTest, RunsAllPhasesToCompletion) {
+  auto hv = test::make_credit_hv();
+  hv::Domain& dom = hv->create_domain("VM", 4 * kTestGB, 1,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  auto phases = wl::parse_workload_spec(
+      "phase instr=50e6 rpti=20 miss=0.5 ws=16M mem=64M\n"
+      "phase instr=30e6 rpti=1 miss=0.02 ws=1M mem=16M\n");
+  wl::TraceApp app(*hv, dom, dom.vcpu(0), phases, "profiled-job");
+  hv->start();
+  app.start();
+  hv->engine().run_until(sim::Time::sec(5));
+  EXPECT_TRUE(app.finished());
+  EXPECT_GT(app.runtime(), sim::Time::zero());
+  EXPECT_EQ(app.num_phases(), 2);
+  // PMU totals reflect both phases: blended RPTI strictly between 1 and 20.
+  const auto& c = dom.vcpu(0).pmu.cumulative();
+  const double rpti = c.llc_refs / c.instr_retired * 1000.0;
+  EXPECT_GT(rpti, 5.0);
+  EXPECT_LT(rpti, 15.0);
+}
+
+TEST(TraceAppTest, MemoryHungryPhaseIsSlower) {
+  auto run_phase = [&](const char* spec) {
+    auto hv = test::make_credit_hv();
+    hv::Domain& dom = hv->create_domain("VM", 4 * kTestGB, 1,
+                                        numa::PlacementPolicy::kFillFirst, 0);
+    wl::TraceApp app(*hv, dom, dom.vcpu(0), wl::parse_workload_spec(spec));
+    hv->start();
+    app.start();
+    hv->engine().run_until(sim::Time::sec(10));
+    EXPECT_TRUE(app.finished());
+    return app.runtime().to_seconds();
+  };
+  const double cpu = run_phase("phase instr=100e6 rpti=0.1 miss=0.01\n");
+  const double mem = run_phase("phase instr=100e6 rpti=25 miss=0.6 ws=32M mem=256M\n");
+  EXPECT_GT(mem, cpu * 1.5);
+}
+
+TEST(TraceAppTest, RegistersWithMemoryMap) {
+  auto hv = test::make_credit_hv();
+  hv::Domain& dom = hv->create_domain("VM", 4 * kTestGB, 1,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  wl::TraceApp app(*hv, dom, dom.vcpu(0),
+                   wl::parse_workload_spec("phase instr=1e6 mem=64M\n"));
+  const auto* entry = hv->memory_map().lookup(dom.vcpu(0).id());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->regions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vprobe

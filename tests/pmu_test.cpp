@@ -1,0 +1,152 @@
+// Unit tests for the PMU virtualisation layer: counter sets, per-VCPU
+// counters, and the periodic sampler.
+#include <gtest/gtest.h>
+
+#include "pmu/counters.hpp"
+#include "pmu/sampler.hpp"
+#include "pmu/vcpu_pmu.hpp"
+#include "sim/engine.hpp"
+
+namespace vprobe::pmu {
+namespace {
+
+CounterSet make_counters(double instr, double refs, double misses,
+                         double node0, double node1) {
+  CounterSet c;
+  c.instr_retired = instr;
+  c.llc_refs = refs;
+  c.llc_misses = misses;
+  c.mem_accesses[0] = node0;
+  c.mem_accesses[1] = node1;
+  return c;
+}
+
+// ---------------------------------------------------------- CounterSet ----
+
+TEST(CounterSet, TotalsAndRemote) {
+  const CounterSet c = make_counters(1000, 100, 50, 30, 20);
+  EXPECT_DOUBLE_EQ(c.total_mem_accesses(), 50.0);
+  EXPECT_DOUBLE_EQ(c.remote_mem_accesses(0), 20.0);
+  EXPECT_DOUBLE_EQ(c.remote_mem_accesses(1), 30.0);
+}
+
+TEST(CounterSet, BusiestNodeArgMax) {
+  EXPECT_EQ(make_counters(1, 1, 1, 30, 20).busiest_node(), 0);
+  EXPECT_EQ(make_counters(1, 1, 1, 5, 20).busiest_node(), 1);
+}
+
+TEST(CounterSet, BusiestNodeTieGoesLow) {
+  EXPECT_EQ(make_counters(1, 1, 1, 10, 10).busiest_node(), 0);
+}
+
+TEST(CounterSet, BusiestNodeEmptyIsInvalid) {
+  EXPECT_EQ(CounterSet{}.busiest_node(), numa::kInvalidNode);
+}
+
+TEST(CounterSet, AdditionAndSubtraction) {
+  const CounterSet a = make_counters(1000, 100, 50, 30, 20);
+  const CounterSet b = make_counters(500, 40, 10, 5, 5);
+  const CounterSet sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.instr_retired, 1500.0);
+  EXPECT_DOUBLE_EQ(sum.mem_accesses[0], 35.0);
+  const CounterSet diff = sum - b;
+  EXPECT_DOUBLE_EQ(diff.instr_retired, a.instr_retired);
+  EXPECT_DOUBLE_EQ(diff.llc_misses, a.llc_misses);
+  EXPECT_DOUBLE_EQ(diff.mem_accesses[1], a.mem_accesses[1]);
+}
+
+TEST(CounterSet, RemoteAccessesFieldAccumulates) {
+  CounterSet a;
+  a.remote_accesses = 7;
+  CounterSet b;
+  b.remote_accesses = 3;
+  EXPECT_DOUBLE_EQ((a + b).remote_accesses, 10.0);
+  EXPECT_DOUBLE_EQ((a - b).remote_accesses, 4.0);
+}
+
+// ------------------------------------------------------------- VcpuPmu ----
+
+TEST(VcpuPmu, AccumulatesDeltas) {
+  VcpuPmu pmu;
+  pmu.add(make_counters(100, 10, 5, 3, 2));
+  pmu.add(make_counters(200, 20, 10, 6, 4));
+  EXPECT_DOUBLE_EQ(pmu.cumulative().instr_retired, 300.0);
+  EXPECT_DOUBLE_EQ(pmu.cumulative().mem_accesses[1], 6.0);
+}
+
+TEST(VcpuPmu, WindowDeltaTracksSinceBegin) {
+  VcpuPmu pmu;
+  pmu.add(make_counters(100, 10, 5, 3, 2));
+  pmu.begin_window();
+  EXPECT_DOUBLE_EQ(pmu.window_delta().instr_retired, 0.0);
+  pmu.add(make_counters(50, 5, 2, 1, 1));
+  EXPECT_DOUBLE_EQ(pmu.window_delta().instr_retired, 50.0);
+  EXPECT_DOUBLE_EQ(pmu.cumulative().instr_retired, 150.0);
+}
+
+TEST(VcpuPmu, SaveRestoreCounting) {
+  VcpuPmu pmu;
+  pmu.record_save_restore();
+  pmu.record_save_restore();
+  EXPECT_EQ(pmu.save_restore_count(), 2u);
+}
+
+// ------------------------------------------------------------- Sampler ----
+
+TEST(Sampler, FiresEveryPeriod) {
+  sim::Engine engine;
+  Sampler sampler(engine, sim::Time::sec(1));
+  int fired = 0;
+  sampler.start([&] { ++fired; });
+  engine.run_until(sim::Time::seconds(3.5));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sampler.periods_elapsed(), 3u);
+}
+
+TEST(Sampler, RollsWindowsAfterCallback) {
+  sim::Engine engine;
+  VcpuPmu pmu;
+  Sampler sampler(engine, sim::Time::sec(1));
+  sampler.register_pmu(&pmu);
+
+  double seen_in_callback = -1.0;
+  sampler.start([&] { seen_in_callback = pmu.window_delta().instr_retired; });
+
+  pmu.add(make_counters(123, 0, 0, 0, 0));
+  engine.run_until(sim::Time::seconds(1.5));
+  // Callback observed the period's delta...
+  EXPECT_DOUBLE_EQ(seen_in_callback, 123.0);
+  // ...and the window was reset afterwards.
+  EXPECT_DOUBLE_EQ(pmu.window_delta().instr_retired, 0.0);
+}
+
+TEST(Sampler, LateRegistrationStartsFreshWindow) {
+  sim::Engine engine;
+  Sampler sampler(engine, sim::Time::sec(1));
+  sampler.start([] {});
+
+  VcpuPmu pmu;
+  pmu.add(make_counters(999, 0, 0, 0, 0));  // history before registration
+  sampler.register_pmu(&pmu);
+  EXPECT_DOUBLE_EQ(pmu.window_delta().instr_retired, 0.0);
+}
+
+TEST(Sampler, StopCancelsTimer) {
+  sim::Engine engine;
+  Sampler sampler(engine, sim::Time::ms(100));
+  int fired = 0;
+  sampler.start([&] { ++fired; });
+  engine.run_until(sim::Time::ms(250));
+  sampler.stop();
+  engine.run_until(sim::Time::sec(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Sampler, RejectsNonPositivePeriod) {
+  sim::Engine engine;
+  Sampler sampler(engine, sim::Time::zero());
+  EXPECT_THROW(sampler.start([] {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vprobe::pmu

@@ -1,0 +1,301 @@
+// Unit tests for the simulation core: Time, Rng, Engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace vprobe::sim {
+namespace {
+
+// ---------------------------------------------------------------- Time ----
+
+TEST(Time, ConstructionAndConversion) {
+  EXPECT_EQ(Time::ns(5).nanos(), 5);
+  EXPECT_EQ(Time::us(5).nanos(), 5'000);
+  EXPECT_EQ(Time::ms(5).nanos(), 5'000'000);
+  EXPECT_EQ(Time::sec(5).nanos(), 5'000'000'000);
+  EXPECT_DOUBLE_EQ(Time::ms(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Time::seconds(2.5).to_seconds(), 2.5);
+}
+
+TEST(Time, SecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Time::seconds(1e-9).nanos(), 1);
+  EXPECT_EQ(Time::seconds(1.4e-9).nanos(), 1);
+  EXPECT_EQ(Time::seconds(1.6e-9).nanos(), 2);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::ms(10);
+  const Time b = Time::ms(3);
+  EXPECT_EQ((a + b).nanos(), Time::ms(13).nanos());
+  EXPECT_EQ((a - b).nanos(), Time::ms(7).nanos());
+  EXPECT_EQ((a * 3).nanos(), Time::ms(30).nanos());
+  EXPECT_EQ((a / 2).nanos(), Time::ms(5).nanos());
+  EXPECT_DOUBLE_EQ(a / b, 10.0 / 3.0);
+}
+
+TEST(Time, Comparison) {
+  EXPECT_LT(Time::ms(1), Time::ms(2));
+  EXPECT_EQ(Time::us(1000), Time::ms(1));
+  EXPECT_GT(Time::sec(1), Time::ms(999));
+}
+
+TEST(Time, Scaled) {
+  EXPECT_EQ(Time::ms(10).scaled(1.5).nanos(), Time::ms(15).nanos());
+  EXPECT_EQ(Time::ns(100).scaled(0.25).nanos(), 25);
+}
+
+TEST(Time, Str) {
+  EXPECT_EQ(Time::sec(2).str(), "2.000s");
+  EXPECT_EQ(Time::ms(12).str(), "12.000ms");
+  EXPECT_EQ(Time::us(3).str(), "3.000us");
+  EXPECT_EQ(Time::ns(7).str(), "7ns");
+}
+
+// ----------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng rng(19);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_pick(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+// -------------------------------------------------------------- Engine ----
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), Time::zero());
+  EXPECT_EQ(e.queued(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(Time::ms(20), [&] { order.push_back(2); });
+  e.schedule(Time::ms(10), [&] { order.push_back(1); });
+  e.schedule(Time::ms(30), [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), Time::ms(30));
+}
+
+TEST(Engine, FifoAtEqualTimes) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule(Time::ms(1), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine e;
+  e.schedule(Time::ms(5), [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(Time::ms(1), [] {}), std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  auto h = e.schedule(Time::ms(1), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelAfterFireIsSafe) {
+  Engine e;
+  auto h = e.schedule(Time::ms(1), [] {});
+  e.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+TEST(Engine, RunUntilStopsAtDeadlineInclusive) {
+  Engine e;
+  std::vector<int> fired;
+  e.schedule(Time::ms(10), [&] { fired.push_back(10); });
+  e.schedule(Time::ms(20), [&] { fired.push_back(20); });
+  e.schedule(Time::ms(30), [&] { fired.push_back(30); });
+  const auto n = e.run_until(Time::ms(20));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(e.now(), Time::ms(20));
+  e.run();
+  EXPECT_EQ(fired.back(), 30);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine e;
+  e.run_until(Time::sec(5));
+  EXPECT_EQ(e.now(), Time::sec(5));
+}
+
+TEST(Engine, EventsScheduledDuringEventsRun) {
+  Engine e;
+  int depth = 0;
+  e.schedule(Time::ms(1), [&] {
+    e.schedule(Time::ms(1), [&] { depth = 2; });
+    depth = 1;
+  });
+  e.run();
+  EXPECT_EQ(depth, 2);
+  EXPECT_EQ(e.now(), Time::ms(2));
+}
+
+TEST(Engine, ZeroDelayEventFiresAfterCurrent) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(Time::ms(1), [&] {
+    e.schedule(Time::zero(), [&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.now(), Time::ms(1));
+}
+
+TEST(Engine, PeriodicFiresRepeatedlyUntilCancelled) {
+  Engine e;
+  int count = 0;
+  auto h = e.schedule_periodic(Time::ms(10), [&] { ++count; });
+  e.run_until(Time::ms(55));
+  EXPECT_EQ(count, 5);
+  h.cancel();
+  e.run_until(Time::ms(200));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Engine, PeriodicSelfCancelInsideCallback) {
+  Engine e;
+  int count = 0;
+  EventHandle h;
+  h = e.schedule_periodic(Time::ms(10), [&] {
+    if (++count == 3) h.cancel();
+  });
+  e.run_until(Time::sec(1));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, PeriodicRejectsNonPositivePeriod) {
+  Engine e;
+  EXPECT_THROW(e.schedule_periodic(Time::zero(), [] {}), std::invalid_argument);
+}
+
+TEST(Engine, RunHonoursMaxEvents) {
+  Engine e;
+  int count = 0;
+  auto h = e.schedule_periodic(Time::ms(1), [&] { ++count; });
+  e.run(7);
+  EXPECT_EQ(count, 7);
+  h.cancel();
+}
+
+TEST(Engine, ExecutedCounter) {
+  Engine e;
+  for (int i = 0; i < 4; ++i) e.schedule(Time::ms(i + 1), [] {});
+  e.run();
+  EXPECT_EQ(e.executed(), 4u);
+}
+
+TEST(Engine, ClearDropsPendingEvents) {
+  Engine e;
+  bool ran = false;
+  e.schedule(Time::ms(1), [&] { ran = true; });
+  e.clear();
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace vprobe::sim

@@ -1,0 +1,169 @@
+// Stats layer tests: Summary, RunMetrics, Table, CsvWriter, sweep helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "runner/sweep.hpp"
+#include "stats/csv.hpp"
+#include "stats/metrics.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace vprobe::stats {
+namespace {
+
+// ------------------------------------------------------------- Summary ----
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(Summary, PercentileAfterLaterAdd) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(100.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(75), 42.0);
+}
+
+// ---------------------------------------------------------- RunMetrics ----
+
+TEST(RunMetricsTest, FinalizeAveragesRuntimes) {
+  RunMetrics m;
+  m.app_runtime_s["a"] = 10.0;
+  m.app_runtime_s["b"] = 20.0;
+  m.finalize();
+  EXPECT_DOUBLE_EQ(m.avg_runtime_s, 15.0);
+}
+
+TEST(RunMetricsTest, RemoteRatio) {
+  RunMetrics m;
+  m.total_mem_accesses = 200.0;
+  m.remote_mem_accesses = 80.0;
+  EXPECT_DOUBLE_EQ(m.remote_access_ratio(), 0.4);
+  RunMetrics empty;
+  EXPECT_DOUBLE_EQ(empty.remote_access_ratio(), 0.0);
+}
+
+TEST(RunMetricsTest, NormalizedGuardsZero) {
+  EXPECT_DOUBLE_EQ(normalized(5.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(normalized(5.0, 0.0), 0.0);
+}
+
+// --------------------------------------------------------------- Table ----
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"workload", "Credit", "vProbe"});
+  t.add_row("soplex", {1.0, 0.675});
+  t.add_row({"milc", "1.000", "0.801"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("workload"), std::string::npos);
+  EXPECT_NE(s.find("soplex"), std::string::npos);
+  EXPECT_NE(s.find("0.675"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ExtraCellsDropped) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.str().find('3'), std::string::npos);
+}
+
+TEST(TableTest, FmtHelper) {
+  EXPECT_EQ(fmt(1.5, "%.2f"), "1.50");
+  EXPECT_EQ(fmt(42.0, "%.0f"), "42");
+}
+
+// ----------------------------------------------------------- CsvWriter ----
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = testing::TempDir() + "vprobe_csv_test.csv";
+  {
+    CsvWriter csv(path, {"name", "value"});
+    csv.add_row({"plain", "1"});
+    csv.add_row({"with,comma", "2"});
+    csv.add_row({"with\"quote", "3"});
+    csv.add_row("labelled", {4.25});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with\"\"quote\",3");
+  std::getline(in, line);
+  EXPECT_EQ(line, "labelled,4.25");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+// --------------------------------------------------------------- Sweep ----
+
+TEST(Sweep, CollectAndNormalize) {
+  std::vector<RunMetrics> runs(3);
+  runs[0].avg_runtime_s = 10.0;
+  runs[1].avg_runtime_s = 5.0;
+  runs[2].avg_runtime_s = 20.0;
+  auto values = runner::collect(runs, runner::metric_avg_runtime);
+  EXPECT_EQ(values, (std::vector<double>{10.0, 5.0, 20.0}));
+  auto norm = runner::normalize_to_first(values);
+  EXPECT_EQ(norm, (std::vector<double>{1.0, 0.5, 2.0}));
+}
+
+TEST(Sweep, NormalizeHandlesZeroBaseline) {
+  auto v = runner::normalize_to_first({0.0, 5.0});
+  EXPECT_EQ(v, (std::vector<double>{0.0, 5.0}));
+}
+
+TEST(Sweep, MixNormalizedRuntime) {
+  RunMetrics base, run;
+  base.app_runtime_s = {{"a", 10.0}, {"b", 20.0}};
+  run.app_runtime_s = {{"a", 5.0}, {"b", 10.0}};
+  EXPECT_DOUBLE_EQ(runner::mix_normalized_runtime(run, base), 0.5);
+  // Apps missing from the baseline are skipped.
+  run.app_runtime_s["c"] = 99.0;
+  EXPECT_DOUBLE_EQ(runner::mix_normalized_runtime(run, base), 0.5);
+}
+
+}  // namespace
+}  // namespace vprobe::stats

@@ -1,0 +1,287 @@
+// Trace subsystem tests: ring semantics, hypervisor hook-up, residency and
+// migration-matrix analysis, and the integrated page-migration policy.
+#include <gtest/gtest.h>
+
+#include "core/page_policy.hpp"
+#include "core/vprobe_sched.hpp"
+#include "runner/scenario.hpp"
+#include "test_helpers.hpp"
+#include "trace/analysis.hpp"
+#include "trace/tracer.hpp"
+#include "workload/spec.hpp"
+
+namespace vprobe::trace {
+namespace {
+
+using test::FakeWork;
+using test::kTestGB;
+
+// -------------------------------------------------------------- Tracer ----
+
+TEST(TracerTest, RecordsAndCounts) {
+  Tracer tracer(16);
+  tracer.record(sim::Time::ms(1), EventKind::kWake, 3, 0);
+  tracer.record(sim::Time::ms(2), EventKind::kWake, 4, 1);
+  tracer.record(sim::Time::ms(3), EventKind::kBlock, 3, 0);
+  EXPECT_EQ(tracer.count(EventKind::kWake), 2u);
+  EXPECT_EQ(tracer.count(EventKind::kBlock), 1u);
+  EXPECT_EQ(tracer.total_recorded(), 3u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].vcpu, 3);
+  EXPECT_EQ(events[2].kind, EventKind::kBlock);
+}
+
+TEST(TracerTest, RingKeepsMostRecent) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.record(sim::Time::ms(i), EventKind::kWake, i, 0);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().vcpu, 6);  // oldest retained
+  EXPECT_EQ(events.back().vcpu, 9);   // newest
+}
+
+TEST(TracerTest, ClearResets) {
+  Tracer tracer(4);
+  tracer.record(sim::Time::ms(1), EventKind::kWake, 1, 0);
+  tracer.clear();
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.count(EventKind::kWake), 0u);
+}
+
+TEST(TracerTest, ZeroCapacityRejected) {
+  EXPECT_THROW(Tracer(0), std::invalid_argument);
+}
+
+TEST(TracerTest, EventNames) {
+  EXPECT_STREQ(to_string(EventKind::kSwitchIn), "switch-in");
+  EXPECT_STREQ(to_string(EventKind::kPageMove), "page-move");
+}
+
+// ------------------------------------------------------ Hypervisor hooks ----
+
+TEST(TracerHooks, SchedulingEventsAreEmitted) {
+  auto hv = test::make_credit_hv();
+  Tracer tracer;
+  hv->set_tracer(&tracer);
+  hv::Domain& dom = hv->create_domain("VM", 1 * kTestGB, 1,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  FakeWork work;
+  work.total_instructions = 30e6;
+  work.burst = 10e6;
+  work.block_for = sim::Time::ms(5);
+  hv->bind_work(dom.vcpu(0), work);
+  hv->start();
+  hv->wake(dom.vcpu(0));
+  hv->engine().run_until(sim::Time::sec(1));
+  EXPECT_TRUE(work.finished);
+  EXPECT_GE(tracer.count(EventKind::kWake), 3u);   // initial + 2 timed wakes
+  EXPECT_GE(tracer.count(EventKind::kBlock), 2u);  // two timed blocks
+  EXPECT_EQ(tracer.count(EventKind::kFinish), 1u);
+  EXPECT_GE(tracer.count(EventKind::kSwitchIn),
+            tracer.count(EventKind::kSwitchOut));
+}
+
+TEST(TracerHooks, DetachStopsEmission) {
+  auto hv = test::make_credit_hv();
+  Tracer tracer;
+  hv->set_tracer(&tracer);
+  hv->set_tracer(nullptr);
+  hv::Domain& dom = hv->create_domain("VM", 1 * kTestGB, 1,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  FakeWork work;
+  work.total_instructions = 1e6;
+  hv->bind_work(dom.vcpu(0), work);
+  hv->start();
+  hv->wake(dom.vcpu(0));
+  hv->engine().run_until(sim::Time::sec(1));
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+// ------------------------------------------------------------ Analysis ----
+
+TEST(Analysis, ResidencyIntegratesSwitchPairs) {
+  const numa::Topology topo(numa::MachineConfig::xeon_e5620());
+  std::vector<Record> records = {
+      {sim::Time::ms(0), EventKind::kSwitchIn, 1, 0, 0},   // node 0
+      {sim::Time::ms(100), EventKind::kSwitchOut, 1, 0, 0},
+      {sim::Time::ms(100), EventKind::kSwitchIn, 1, 5, 0},  // node 1
+      {sim::Time::ms(400), EventKind::kSwitchOut, 1, 5, 0},
+  };
+  NodeResidency residency(records, topo, sim::Time::ms(400));
+  EXPECT_NEAR(residency.seconds_on(1, 0), 0.1, 1e-9);
+  EXPECT_NEAR(residency.seconds_on(1, 1), 0.3, 1e-9);
+  EXPECT_NEAR(residency.fraction_on(1, 1), 0.75, 1e-9);
+  EXPECT_EQ(residency.vcpus(), std::vector<int>{1});
+}
+
+TEST(Analysis, ResidencyClosesOpenIntervalAtHorizon) {
+  const numa::Topology topo(numa::MachineConfig::xeon_e5620());
+  std::vector<Record> records = {
+      {sim::Time::ms(0), EventKind::kSwitchIn, 2, 4, 0},  // node 1, never out
+  };
+  NodeResidency residency(records, topo, sim::Time::sec(1));
+  EXPECT_NEAR(residency.seconds_on(2, 1), 1.0, 1e-9);
+}
+
+TEST(Analysis, ResidencyUnknownVcpuIsZero) {
+  const numa::Topology topo(numa::MachineConfig::xeon_e5620());
+  NodeResidency residency({}, topo, sim::Time::sec(1));
+  EXPECT_DOUBLE_EQ(residency.seconds_on(42, 0), 0.0);
+  EXPECT_DOUBLE_EQ(residency.fraction_on(42, 1), 0.0);
+}
+
+TEST(Analysis, MigrationMatrixCountsPairsAndCrossNode) {
+  const numa::Topology topo(numa::MachineConfig::xeon_e5620());
+  std::vector<Record> records = {
+      {sim::Time::ms(1), EventKind::kMigration, 1, /*to=*/4, /*from=*/0},
+      {sim::Time::ms(2), EventKind::kMigration, 1, /*to=*/0, /*from=*/4},
+      {sim::Time::ms(3), EventKind::kMigration, 2, /*to=*/1, /*from=*/0},
+      {sim::Time::ms(4), EventKind::kWake, 2, 1, 0},  // ignored
+  };
+  MigrationMatrix matrix(records, topo.num_pcpus());
+  EXPECT_EQ(matrix.total(), 3u);
+  EXPECT_EQ(matrix.between(0, 4), 1u);
+  EXPECT_EQ(matrix.between(4, 0), 1u);
+  EXPECT_EQ(matrix.between(0, 1), 1u);
+  EXPECT_EQ(matrix.cross_node(topo), 2u);
+}
+
+TEST(Analysis, EndToEndResidencyMatchesCpuTime) {
+  auto hv = test::make_credit_hv();
+  Tracer tracer(1 << 16);
+  hv->set_tracer(&tracer);
+  hv::Domain& dom = hv->create_domain("VM", 2 * kTestGB, 2,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  FakeWork w0, w1;
+  hv->bind_work(dom.vcpu(0), w0);
+  hv->bind_work(dom.vcpu(1), w1);
+  hv->start();
+  hv->wake(dom.vcpu(0));
+  hv->wake(dom.vcpu(1));
+  hv->engine().run_until(sim::Time::sec(1));
+
+  NodeResidency residency(tracer.snapshot(), hv->topology(), hv->now());
+  for (std::size_t i = 0; i < 2; ++i) {
+    const hv::Vcpu& v = dom.vcpu(i);
+    const double traced = residency.seconds_on(v.id(), 0) +
+                          residency.seconds_on(v.id(), 1);
+    EXPECT_NEAR(traced, v.cpu_time.to_seconds(), 0.02) << "vcpu " << i;
+  }
+}
+
+// -------------------------------------------------- Page policy (core) ----
+
+TEST(PagePolicyTest, MemoryMapRegistration) {
+  auto hv = test::make_credit_hv();
+  hv::Domain& dom = hv->create_domain("VM", 2 * kTestGB, 1,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  wl::SpecApp app(*hv, dom, dom.vcpu(0), "milc", 0.01);
+  const auto* entry = hv->memory_map().lookup(dom.vcpu(0).id());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->memory, &dom.memory());
+  EXPECT_FALSE(entry->regions.empty());
+  EXPECT_EQ(hv->memory_map().lookup(999), nullptr);
+}
+
+TEST(PagePolicyTest, MovesDataTowardMemoryIntensiveVcpu) {
+  auto hv = test::make_credit_hv();
+  hv::Domain& dom = hv->create_domain("VM", 2 * kTestGB, 1,
+                                      numa::PlacementPolicy::kOnNode, 0);
+  wl::SpecApp app(*hv, dom, dom.vcpu(0), "milc", 0.05);
+  hv::Vcpu& v = dom.vcpu(0);
+  v.vcpu_type = hv::VcpuType::kLlcThrashing;
+  // Strand the VCPU on node 1 while all its data is on node 0.
+  hv->start();
+  app.start();
+  hv->engine().run_until(sim::Time::ms(50));
+  hv->migrate_to_node(v, 1);
+  hv->engine().run_until(sim::Time::ms(100));
+  ASSERT_EQ(hv->topology().node_of(v.pcpu), 1);
+
+  core::PagePolicy policy;
+  const auto result = policy.run(*hv);
+  EXPECT_GT(result.chunks_moved, 0);
+  EXPECT_GT(result.cost, sim::Time::zero());
+  EXPECT_EQ(result.vcpus_considered, 1);
+  EXPECT_GT(dom.memory().node_census()[1], 0)
+      << "chunks must have moved to node 1";
+}
+
+TEST(PagePolicyTest, SkipsLlcFriendlyVcpus) {
+  auto hv = test::make_credit_hv();
+  hv::Domain& dom = hv->create_domain("VM", 2 * kTestGB, 1,
+                                      numa::PlacementPolicy::kOnNode, 0);
+  wl::SpecApp app(*hv, dom, dom.vcpu(0), "povray", 0.05);
+  dom.vcpu(0).vcpu_type = hv::VcpuType::kLlcFriendly;
+  hv->start();
+  core::PagePolicy policy;
+  const auto result = policy.run(*hv);
+  EXPECT_EQ(result.vcpus_considered, 0);
+  EXPECT_EQ(result.chunks_moved, 0);
+}
+
+TEST(PagePolicyTest, RespectsMachineBudget) {
+  auto hv = test::make_credit_hv();
+  hv::Domain& dom = hv->create_domain("VM", 4 * kTestGB, 2,
+                                      numa::PlacementPolicy::kOnNode, 0);
+  wl::SpecApp a0(*hv, dom, dom.vcpu(0), "milc", 0.05);
+  wl::SpecApp a1(*hv, dom, dom.vcpu(1), "milc", 0.05);
+  for (std::size_t i = 0; i < 2; ++i) {
+    dom.vcpu(i).vcpu_type = hv::VcpuType::kLlcThrashing;
+    hv->migrate_to_node(dom.vcpu(i), 1);
+  }
+  core::PagePolicy::Options opts;
+  opts.machine_budget_per_period = 8;
+  opts.migrator.max_chunks_per_round = 4;
+  core::PagePolicy policy(opts);
+  const auto result = policy.run(*hv);
+  EXPECT_LE(result.chunks_moved, 12)
+      << "per-round cap x regions bounded by machine budget + overshoot";
+  EXPECT_GT(result.chunks_moved, 0);
+}
+
+TEST(PagePolicyTest, VprobeIntegrationReducesRemoteAccesses) {
+  auto run_stranded = [&](bool page_migration) {
+    core::VprobeScheduler::Options opts;
+    opts.enable_partitioning = false;  // isolate the page-policy effect
+    opts.enable_numa_balance = false;
+    opts.page_migration = page_migration;
+    opts.sampling_period = sim::Time::ms(200);
+    hv::Hypervisor::Config cfg;
+    auto hv = std::make_unique<hv::Hypervisor>(
+        cfg, std::make_unique<core::VprobeScheduler>(opts));
+    // Background spinners keep every PCPU busy, so the stranded VCPU is not
+    // simply stolen back to its data's node.
+    hv::Domain& bg = hv->create_domain("BG", 1 * kTestGB, 8,
+                                       numa::PlacementPolicy::kFillFirst, 0);
+    std::vector<std::unique_ptr<FakeWork>> spinners;
+    for (std::size_t i = 0; i < 8; ++i) {
+      spinners.push_back(std::make_unique<FakeWork>());
+      hv->bind_work(bg.vcpu(i), *spinners.back());
+    }
+    hv::Domain& dom = hv->create_domain("VM", 2 * kTestGB, 1,
+                                        numa::PlacementPolicy::kOnNode, 0);
+    wl::SpecApp app(*hv, dom, dom.vcpu(0), "milc", 0.05);
+    dom.vcpu(0).vcpu_type = hv::VcpuType::kLlcThrashing;
+    hv->migrate_to_node(dom.vcpu(0), 1);  // stranded from its data
+    hv->start();
+    for (std::size_t i = 0; i < 8; ++i) hv->wake(bg.vcpu(i));
+    app.start();
+    runner::run_until(*hv, [&] { return app.finished(); }, sim::Time::sec(600));
+    return app.runtime().to_seconds();
+  };
+  const double without = run_stranded(false);
+  const double with = run_stranded(true);
+  EXPECT_LT(with, without * 0.95)
+      << "page migration must recover a stranded VCPU's locality";
+}
+
+}  // namespace
+}  // namespace vprobe::trace
