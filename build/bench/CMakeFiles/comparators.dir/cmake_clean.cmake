@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparators.dir/comparators.cpp.o"
+  "CMakeFiles/comparators.dir/comparators.cpp.o.d"
+  "comparators"
+  "comparators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

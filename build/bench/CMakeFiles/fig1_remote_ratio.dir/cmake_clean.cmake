@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_remote_ratio.dir/fig1_remote_ratio.cpp.o"
+  "CMakeFiles/fig1_remote_ratio.dir/fig1_remote_ratio.cpp.o.d"
+  "fig1_remote_ratio"
+  "fig1_remote_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_remote_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_bounds.dir/fig3_bounds.cpp.o"
+  "CMakeFiles/fig3_bounds.dir/fig3_bounds.cpp.o.d"
+  "fig3_bounds"
+  "fig3_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

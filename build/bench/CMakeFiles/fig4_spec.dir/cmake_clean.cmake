@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_spec.dir/fig4_spec.cpp.o"
+  "CMakeFiles/fig4_spec.dir/fig4_spec.cpp.o.d"
+  "fig4_spec"
+  "fig4_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

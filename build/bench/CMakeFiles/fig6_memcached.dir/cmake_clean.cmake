@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_memcached.dir/fig6_memcached.cpp.o"
+  "CMakeFiles/fig6_memcached.dir/fig6_memcached.cpp.o.d"
+  "fig6_memcached"
+  "fig6_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

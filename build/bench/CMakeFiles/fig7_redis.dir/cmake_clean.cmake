@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_redis.dir/fig7_redis.cpp.o"
+  "CMakeFiles/fig7_redis.dir/fig7_redis.cpp.o.d"
+  "fig7_redis"
+  "fig7_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

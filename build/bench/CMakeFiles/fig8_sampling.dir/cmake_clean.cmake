@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sampling.dir/fig8_sampling.cpp.o"
+  "CMakeFiles/fig8_sampling.dir/fig8_sampling.cpp.o.d"
+  "fig8_sampling"
+  "fig8_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

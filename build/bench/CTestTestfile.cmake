@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(shape_fig4_spec "/root/repo/build/bench/fig4_spec" "--check" "--scale=0.2" "--repeats=3")
+set_tests_properties(shape_fig4_spec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(shape_fig7_redis "/root/repo/build/bench/fig7_redis" "--check" "--scale=0.2" "--repeats=2" "--requests=120000")
+set_tests_properties(shape_fig7_redis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cloud_consolidation.cpp" "examples/CMakeFiles/cloud_consolidation.dir/cloud_consolidation.cpp.o" "gcc" "examples/CMakeFiles/cloud_consolidation.dir/cloud_consolidation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vprobe_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_trace.dir/placement_trace.cpp.o"
+  "CMakeFiles/placement_trace.dir/placement_trace.cpp.o.d"
+  "placement_trace"
+  "placement_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/CMakeFiles/vprobe_core.dir/core/analyzer.cpp.o" "gcc" "src/CMakeFiles/vprobe_core.dir/core/analyzer.cpp.o.d"
+  "/root/repo/src/core/autonuma_sched.cpp" "src/CMakeFiles/vprobe_core.dir/core/autonuma_sched.cpp.o" "gcc" "src/CMakeFiles/vprobe_core.dir/core/autonuma_sched.cpp.o.d"
+  "/root/repo/src/core/brm_sched.cpp" "src/CMakeFiles/vprobe_core.dir/core/brm_sched.cpp.o" "gcc" "src/CMakeFiles/vprobe_core.dir/core/brm_sched.cpp.o.d"
+  "/root/repo/src/core/dynamic_bounds.cpp" "src/CMakeFiles/vprobe_core.dir/core/dynamic_bounds.cpp.o" "gcc" "src/CMakeFiles/vprobe_core.dir/core/dynamic_bounds.cpp.o.d"
+  "/root/repo/src/core/lb_sched.cpp" "src/CMakeFiles/vprobe_core.dir/core/lb_sched.cpp.o" "gcc" "src/CMakeFiles/vprobe_core.dir/core/lb_sched.cpp.o.d"
+  "/root/repo/src/core/numa_balance.cpp" "src/CMakeFiles/vprobe_core.dir/core/numa_balance.cpp.o" "gcc" "src/CMakeFiles/vprobe_core.dir/core/numa_balance.cpp.o.d"
+  "/root/repo/src/core/page_policy.cpp" "src/CMakeFiles/vprobe_core.dir/core/page_policy.cpp.o" "gcc" "src/CMakeFiles/vprobe_core.dir/core/page_policy.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/CMakeFiles/vprobe_core.dir/core/partitioner.cpp.o" "gcc" "src/CMakeFiles/vprobe_core.dir/core/partitioner.cpp.o.d"
+  "/root/repo/src/core/vcpu_p_sched.cpp" "src/CMakeFiles/vprobe_core.dir/core/vcpu_p_sched.cpp.o" "gcc" "src/CMakeFiles/vprobe_core.dir/core/vcpu_p_sched.cpp.o.d"
+  "/root/repo/src/core/vprobe_sched.cpp" "src/CMakeFiles/vprobe_core.dir/core/vprobe_sched.cpp.o" "gcc" "src/CMakeFiles/vprobe_core.dir/core/vprobe_sched.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vprobe_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprobe_core.dir/core/analyzer.cpp.o"
+  "CMakeFiles/vprobe_core.dir/core/analyzer.cpp.o.d"
+  "CMakeFiles/vprobe_core.dir/core/autonuma_sched.cpp.o"
+  "CMakeFiles/vprobe_core.dir/core/autonuma_sched.cpp.o.d"
+  "CMakeFiles/vprobe_core.dir/core/brm_sched.cpp.o"
+  "CMakeFiles/vprobe_core.dir/core/brm_sched.cpp.o.d"
+  "CMakeFiles/vprobe_core.dir/core/dynamic_bounds.cpp.o"
+  "CMakeFiles/vprobe_core.dir/core/dynamic_bounds.cpp.o.d"
+  "CMakeFiles/vprobe_core.dir/core/lb_sched.cpp.o"
+  "CMakeFiles/vprobe_core.dir/core/lb_sched.cpp.o.d"
+  "CMakeFiles/vprobe_core.dir/core/numa_balance.cpp.o"
+  "CMakeFiles/vprobe_core.dir/core/numa_balance.cpp.o.d"
+  "CMakeFiles/vprobe_core.dir/core/page_policy.cpp.o"
+  "CMakeFiles/vprobe_core.dir/core/page_policy.cpp.o.d"
+  "CMakeFiles/vprobe_core.dir/core/partitioner.cpp.o"
+  "CMakeFiles/vprobe_core.dir/core/partitioner.cpp.o.d"
+  "CMakeFiles/vprobe_core.dir/core/vcpu_p_sched.cpp.o"
+  "CMakeFiles/vprobe_core.dir/core/vcpu_p_sched.cpp.o.d"
+  "CMakeFiles/vprobe_core.dir/core/vprobe_sched.cpp.o"
+  "CMakeFiles/vprobe_core.dir/core/vprobe_sched.cpp.o.d"
+  "libvprobe_core.a"
+  "libvprobe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprobe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

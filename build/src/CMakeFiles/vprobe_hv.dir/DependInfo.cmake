@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/credit.cpp" "src/CMakeFiles/vprobe_hv.dir/hv/credit.cpp.o" "gcc" "src/CMakeFiles/vprobe_hv.dir/hv/credit.cpp.o.d"
+  "/root/repo/src/hv/domain.cpp" "src/CMakeFiles/vprobe_hv.dir/hv/domain.cpp.o" "gcc" "src/CMakeFiles/vprobe_hv.dir/hv/domain.cpp.o.d"
+  "/root/repo/src/hv/hypervisor.cpp" "src/CMakeFiles/vprobe_hv.dir/hv/hypervisor.cpp.o" "gcc" "src/CMakeFiles/vprobe_hv.dir/hv/hypervisor.cpp.o.d"
+  "/root/repo/src/hv/pcpu.cpp" "src/CMakeFiles/vprobe_hv.dir/hv/pcpu.cpp.o" "gcc" "src/CMakeFiles/vprobe_hv.dir/hv/pcpu.cpp.o.d"
+  "/root/repo/src/hv/run_queue.cpp" "src/CMakeFiles/vprobe_hv.dir/hv/run_queue.cpp.o" "gcc" "src/CMakeFiles/vprobe_hv.dir/hv/run_queue.cpp.o.d"
+  "/root/repo/src/hv/vcpu.cpp" "src/CMakeFiles/vprobe_hv.dir/hv/vcpu.cpp.o" "gcc" "src/CMakeFiles/vprobe_hv.dir/hv/vcpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vprobe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

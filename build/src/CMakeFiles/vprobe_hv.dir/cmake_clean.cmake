@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprobe_hv.dir/hv/credit.cpp.o"
+  "CMakeFiles/vprobe_hv.dir/hv/credit.cpp.o.d"
+  "CMakeFiles/vprobe_hv.dir/hv/domain.cpp.o"
+  "CMakeFiles/vprobe_hv.dir/hv/domain.cpp.o.d"
+  "CMakeFiles/vprobe_hv.dir/hv/hypervisor.cpp.o"
+  "CMakeFiles/vprobe_hv.dir/hv/hypervisor.cpp.o.d"
+  "CMakeFiles/vprobe_hv.dir/hv/pcpu.cpp.o"
+  "CMakeFiles/vprobe_hv.dir/hv/pcpu.cpp.o.d"
+  "CMakeFiles/vprobe_hv.dir/hv/run_queue.cpp.o"
+  "CMakeFiles/vprobe_hv.dir/hv/run_queue.cpp.o.d"
+  "CMakeFiles/vprobe_hv.dir/hv/vcpu.cpp.o"
+  "CMakeFiles/vprobe_hv.dir/hv/vcpu.cpp.o.d"
+  "libvprobe_hv.a"
+  "libvprobe_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprobe_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

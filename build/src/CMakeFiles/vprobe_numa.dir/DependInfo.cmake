@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numa/interconnect.cpp" "src/CMakeFiles/vprobe_numa.dir/numa/interconnect.cpp.o" "gcc" "src/CMakeFiles/vprobe_numa.dir/numa/interconnect.cpp.o.d"
+  "/root/repo/src/numa/llc_model.cpp" "src/CMakeFiles/vprobe_numa.dir/numa/llc_model.cpp.o" "gcc" "src/CMakeFiles/vprobe_numa.dir/numa/llc_model.cpp.o.d"
+  "/root/repo/src/numa/machine_config.cpp" "src/CMakeFiles/vprobe_numa.dir/numa/machine_config.cpp.o" "gcc" "src/CMakeFiles/vprobe_numa.dir/numa/machine_config.cpp.o.d"
+  "/root/repo/src/numa/mem_controller.cpp" "src/CMakeFiles/vprobe_numa.dir/numa/mem_controller.cpp.o" "gcc" "src/CMakeFiles/vprobe_numa.dir/numa/mem_controller.cpp.o.d"
+  "/root/repo/src/numa/page_migration.cpp" "src/CMakeFiles/vprobe_numa.dir/numa/page_migration.cpp.o" "gcc" "src/CMakeFiles/vprobe_numa.dir/numa/page_migration.cpp.o.d"
+  "/root/repo/src/numa/topology.cpp" "src/CMakeFiles/vprobe_numa.dir/numa/topology.cpp.o" "gcc" "src/CMakeFiles/vprobe_numa.dir/numa/topology.cpp.o.d"
+  "/root/repo/src/numa/vm_memory.cpp" "src/CMakeFiles/vprobe_numa.dir/numa/vm_memory.cpp.o" "gcc" "src/CMakeFiles/vprobe_numa.dir/numa/vm_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vprobe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprobe_numa.dir/numa/interconnect.cpp.o"
+  "CMakeFiles/vprobe_numa.dir/numa/interconnect.cpp.o.d"
+  "CMakeFiles/vprobe_numa.dir/numa/llc_model.cpp.o"
+  "CMakeFiles/vprobe_numa.dir/numa/llc_model.cpp.o.d"
+  "CMakeFiles/vprobe_numa.dir/numa/machine_config.cpp.o"
+  "CMakeFiles/vprobe_numa.dir/numa/machine_config.cpp.o.d"
+  "CMakeFiles/vprobe_numa.dir/numa/mem_controller.cpp.o"
+  "CMakeFiles/vprobe_numa.dir/numa/mem_controller.cpp.o.d"
+  "CMakeFiles/vprobe_numa.dir/numa/page_migration.cpp.o"
+  "CMakeFiles/vprobe_numa.dir/numa/page_migration.cpp.o.d"
+  "CMakeFiles/vprobe_numa.dir/numa/topology.cpp.o"
+  "CMakeFiles/vprobe_numa.dir/numa/topology.cpp.o.d"
+  "CMakeFiles/vprobe_numa.dir/numa/vm_memory.cpp.o"
+  "CMakeFiles/vprobe_numa.dir/numa/vm_memory.cpp.o.d"
+  "libvprobe_numa.a"
+  "libvprobe_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprobe_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

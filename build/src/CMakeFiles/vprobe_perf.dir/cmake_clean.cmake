@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprobe_perf.dir/perf/contention.cpp.o"
+  "CMakeFiles/vprobe_perf.dir/perf/contention.cpp.o.d"
+  "CMakeFiles/vprobe_perf.dir/perf/cost_model.cpp.o"
+  "CMakeFiles/vprobe_perf.dir/perf/cost_model.cpp.o.d"
+  "CMakeFiles/vprobe_perf.dir/perf/warmth.cpp.o"
+  "CMakeFiles/vprobe_perf.dir/perf/warmth.cpp.o.d"
+  "libvprobe_perf.a"
+  "libvprobe_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprobe_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

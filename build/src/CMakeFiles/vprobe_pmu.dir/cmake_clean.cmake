@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprobe_pmu.dir/pmu/sampler.cpp.o"
+  "CMakeFiles/vprobe_pmu.dir/pmu/sampler.cpp.o.d"
+  "CMakeFiles/vprobe_pmu.dir/pmu/vcpu_pmu.cpp.o"
+  "CMakeFiles/vprobe_pmu.dir/pmu/vcpu_pmu.cpp.o.d"
+  "libvprobe_pmu.a"
+  "libvprobe_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprobe_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

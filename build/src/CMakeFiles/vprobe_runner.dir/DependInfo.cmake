@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/cli.cpp" "src/CMakeFiles/vprobe_runner.dir/runner/cli.cpp.o" "gcc" "src/CMakeFiles/vprobe_runner.dir/runner/cli.cpp.o.d"
+  "/root/repo/src/runner/experiment.cpp" "src/CMakeFiles/vprobe_runner.dir/runner/experiment.cpp.o" "gcc" "src/CMakeFiles/vprobe_runner.dir/runner/experiment.cpp.o.d"
+  "/root/repo/src/runner/scenario.cpp" "src/CMakeFiles/vprobe_runner.dir/runner/scenario.cpp.o" "gcc" "src/CMakeFiles/vprobe_runner.dir/runner/scenario.cpp.o.d"
+  "/root/repo/src/runner/scenario_file.cpp" "src/CMakeFiles/vprobe_runner.dir/runner/scenario_file.cpp.o" "gcc" "src/CMakeFiles/vprobe_runner.dir/runner/scenario_file.cpp.o.d"
+  "/root/repo/src/runner/sweep.cpp" "src/CMakeFiles/vprobe_runner.dir/runner/sweep.cpp.o" "gcc" "src/CMakeFiles/vprobe_runner.dir/runner/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vprobe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprobe_runner.dir/runner/cli.cpp.o"
+  "CMakeFiles/vprobe_runner.dir/runner/cli.cpp.o.d"
+  "CMakeFiles/vprobe_runner.dir/runner/experiment.cpp.o"
+  "CMakeFiles/vprobe_runner.dir/runner/experiment.cpp.o.d"
+  "CMakeFiles/vprobe_runner.dir/runner/scenario.cpp.o"
+  "CMakeFiles/vprobe_runner.dir/runner/scenario.cpp.o.d"
+  "CMakeFiles/vprobe_runner.dir/runner/scenario_file.cpp.o"
+  "CMakeFiles/vprobe_runner.dir/runner/scenario_file.cpp.o.d"
+  "CMakeFiles/vprobe_runner.dir/runner/sweep.cpp.o"
+  "CMakeFiles/vprobe_runner.dir/runner/sweep.cpp.o.d"
+  "libvprobe_runner.a"
+  "libvprobe_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprobe_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

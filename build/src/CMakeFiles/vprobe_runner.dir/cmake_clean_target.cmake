@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvprobe_runner.a"
+)

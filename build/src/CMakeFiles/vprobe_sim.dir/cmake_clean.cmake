@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprobe_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/vprobe_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/vprobe_sim.dir/sim/log.cpp.o"
+  "CMakeFiles/vprobe_sim.dir/sim/log.cpp.o.d"
+  "CMakeFiles/vprobe_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/vprobe_sim.dir/sim/rng.cpp.o.d"
+  "libvprobe_sim.a"
+  "libvprobe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprobe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprobe_stats.dir/stats/csv.cpp.o"
+  "CMakeFiles/vprobe_stats.dir/stats/csv.cpp.o.d"
+  "CMakeFiles/vprobe_stats.dir/stats/json.cpp.o"
+  "CMakeFiles/vprobe_stats.dir/stats/json.cpp.o.d"
+  "CMakeFiles/vprobe_stats.dir/stats/metrics.cpp.o"
+  "CMakeFiles/vprobe_stats.dir/stats/metrics.cpp.o.d"
+  "CMakeFiles/vprobe_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/vprobe_stats.dir/stats/summary.cpp.o.d"
+  "CMakeFiles/vprobe_stats.dir/stats/table.cpp.o"
+  "CMakeFiles/vprobe_stats.dir/stats/table.cpp.o.d"
+  "libvprobe_stats.a"
+  "libvprobe_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprobe_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

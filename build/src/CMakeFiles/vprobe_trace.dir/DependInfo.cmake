@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/CMakeFiles/vprobe_trace.dir/trace/analysis.cpp.o" "gcc" "src/CMakeFiles/vprobe_trace.dir/trace/analysis.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/CMakeFiles/vprobe_trace.dir/trace/tracer.cpp.o" "gcc" "src/CMakeFiles/vprobe_trace.dir/trace/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vprobe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_numa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprobe_trace.dir/trace/analysis.cpp.o"
+  "CMakeFiles/vprobe_trace.dir/trace/analysis.cpp.o.d"
+  "CMakeFiles/vprobe_trace.dir/trace/tracer.cpp.o"
+  "CMakeFiles/vprobe_trace.dir/trace/tracer.cpp.o.d"
+  "libvprobe_trace.a"
+  "libvprobe_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprobe_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app.cpp" "src/CMakeFiles/vprobe_workload.dir/workload/app.cpp.o" "gcc" "src/CMakeFiles/vprobe_workload.dir/workload/app.cpp.o.d"
+  "/root/repo/src/workload/hungry.cpp" "src/CMakeFiles/vprobe_workload.dir/workload/hungry.cpp.o" "gcc" "src/CMakeFiles/vprobe_workload.dir/workload/hungry.cpp.o.d"
+  "/root/repo/src/workload/kv_server.cpp" "src/CMakeFiles/vprobe_workload.dir/workload/kv_server.cpp.o" "gcc" "src/CMakeFiles/vprobe_workload.dir/workload/kv_server.cpp.o.d"
+  "/root/repo/src/workload/memcached.cpp" "src/CMakeFiles/vprobe_workload.dir/workload/memcached.cpp.o" "gcc" "src/CMakeFiles/vprobe_workload.dir/workload/memcached.cpp.o.d"
+  "/root/repo/src/workload/npb.cpp" "src/CMakeFiles/vprobe_workload.dir/workload/npb.cpp.o" "gcc" "src/CMakeFiles/vprobe_workload.dir/workload/npb.cpp.o.d"
+  "/root/repo/src/workload/os_ticker.cpp" "src/CMakeFiles/vprobe_workload.dir/workload/os_ticker.cpp.o" "gcc" "src/CMakeFiles/vprobe_workload.dir/workload/os_ticker.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/CMakeFiles/vprobe_workload.dir/workload/profile.cpp.o" "gcc" "src/CMakeFiles/vprobe_workload.dir/workload/profile.cpp.o.d"
+  "/root/repo/src/workload/redis.cpp" "src/CMakeFiles/vprobe_workload.dir/workload/redis.cpp.o" "gcc" "src/CMakeFiles/vprobe_workload.dir/workload/redis.cpp.o.d"
+  "/root/repo/src/workload/spec.cpp" "src/CMakeFiles/vprobe_workload.dir/workload/spec.cpp.o" "gcc" "src/CMakeFiles/vprobe_workload.dir/workload/spec.cpp.o.d"
+  "/root/repo/src/workload/trace_app.cpp" "src/CMakeFiles/vprobe_workload.dir/workload/trace_app.cpp.o" "gcc" "src/CMakeFiles/vprobe_workload.dir/workload/trace_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vprobe_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vprobe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprobe_workload.dir/workload/app.cpp.o"
+  "CMakeFiles/vprobe_workload.dir/workload/app.cpp.o.d"
+  "CMakeFiles/vprobe_workload.dir/workload/hungry.cpp.o"
+  "CMakeFiles/vprobe_workload.dir/workload/hungry.cpp.o.d"
+  "CMakeFiles/vprobe_workload.dir/workload/kv_server.cpp.o"
+  "CMakeFiles/vprobe_workload.dir/workload/kv_server.cpp.o.d"
+  "CMakeFiles/vprobe_workload.dir/workload/memcached.cpp.o"
+  "CMakeFiles/vprobe_workload.dir/workload/memcached.cpp.o.d"
+  "CMakeFiles/vprobe_workload.dir/workload/npb.cpp.o"
+  "CMakeFiles/vprobe_workload.dir/workload/npb.cpp.o.d"
+  "CMakeFiles/vprobe_workload.dir/workload/os_ticker.cpp.o"
+  "CMakeFiles/vprobe_workload.dir/workload/os_ticker.cpp.o.d"
+  "CMakeFiles/vprobe_workload.dir/workload/profile.cpp.o"
+  "CMakeFiles/vprobe_workload.dir/workload/profile.cpp.o.d"
+  "CMakeFiles/vprobe_workload.dir/workload/redis.cpp.o"
+  "CMakeFiles/vprobe_workload.dir/workload/redis.cpp.o.d"
+  "CMakeFiles/vprobe_workload.dir/workload/spec.cpp.o"
+  "CMakeFiles/vprobe_workload.dir/workload/spec.cpp.o.d"
+  "CMakeFiles/vprobe_workload.dir/workload/trace_app.cpp.o"
+  "CMakeFiles/vprobe_workload.dir/workload/trace_app.cpp.o.d"
+  "libvprobe_workload.a"
+  "libvprobe_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprobe_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

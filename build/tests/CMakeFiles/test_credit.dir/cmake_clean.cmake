@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_credit.dir/credit_test.cpp.o"
+  "CMakeFiles/test_credit.dir/credit_test.cpp.o.d"
+  "test_credit"
+  "test_credit.pdb"
+  "test_credit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

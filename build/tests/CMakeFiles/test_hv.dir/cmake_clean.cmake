@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hv.dir/hv_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv_test.cpp.o.d"
+  "test_hv"
+  "test_hv.pdb"
+  "test_hv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
