@@ -15,9 +15,11 @@ using namespace vprobe;
 
 namespace {
 
-/// Extension (2): solo app on node 1 with all data on node 0.
-double misplaced_runtime(bool migrate_pages, double scale) {
-  auto hv = runner::make_hypervisor(runner::SchedKind::kCredit, 1);
+/// Extension (2): solo app on node 1 with all data on node 0, as a custom
+/// RunPlan job (runtime packed into avg_runtime_s).
+stats::RunMetrics misplaced_run(const runner::RunConfig& cfg,
+                                bool migrate_pages) {
+  auto hv = runner::make_hypervisor(runner::SchedKind::kCredit, cfg.seed);
   constexpr std::int64_t kGB = 1024ll * 1024 * 1024;
   // Memory pinned to node 0, VCPU booted on node 1; nothing else runs, so
   // Credit never moves the VCPU — every access stays remote unless the
@@ -25,7 +27,7 @@ double misplaced_runtime(bool migrate_pages, double scale) {
   hv::Domain& dom = hv->create_domain("VM1", 4 * kGB, 1,
                                       numa::PlacementPolicy::kOnNode, 0);
   hv->migrate_to_node(dom.vcpu(0), 1);
-  wl::SpecApp app(*hv, dom, dom.vcpu(0), "milc", scale);
+  wl::SpecApp app(*hv, dom, dom.vcpu(0), "milc", cfg.instr_scale);
 
   numa::PageMigrator migrator;
   sim::EventHandle timer;
@@ -44,29 +46,59 @@ double misplaced_runtime(bool migrate_pages, double scale) {
 
   hv->start();
   app.start();
-  runner::run_until(*hv, [&] { return app.finished(); }, sim::Time::sec(3600));
+  stats::RunMetrics m;
+  m.workload = migrate_pages ? "misplaced+migration" : "misplaced";
+  m.completed = runner::run_until(*hv, [&] { return app.finished(); },
+                                  sim::Time::sec(3600));
   timer.cancel();
-  return app.runtime().to_seconds();
+  m.app_runtime_s["milc"] = app.runtime().to_seconds();
+  m.finalize();
+  return m;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const runner::Cli cli(argc, argv);
-  runner::RunConfig base = bench::config_from_cli(cli);
+  if (runner::maybe_print_help(
+          cli, "Ablation: Section VI extensions (dynamic bounds, page"
+               " migration)"))
+    return 0;
+  const runner::BenchFlags flags = runner::parse_bench_flags(cli);
   bench::print_header(
-      "Ablation: Section VI extensions (dynamic bounds, page migration)", base);
+      "Ablation: Section VI extensions (dynamic bounds, page migration)",
+      flags);
+
+  // All four jobs in one plan: two spec-mix variants, two misplaced runs.
+  runner::RunPlan plan;
+  for (bool dynamic : {false, true}) {
+    runner::RunConfig cfg = flags.config;
+    cfg.sched = runner::SchedKind::kVprobe;
+    cfg.dynamic_bounds = dynamic;
+    runner::RunSpec spec = runner::RunSpec::spec(cfg, "mix");
+    spec.label += dynamic ? "+dynamic-bounds" : "+static-bounds";
+    plan.add(std::move(spec));
+  }
+  for (bool migrate : {false, true}) {
+    // The stranded-VCPU setup is deterministic (single pinned VCPU): one
+    // seed per variant, like the original hand-rolled loop.
+    runner::RunConfig cfg = flags.config;
+    cfg.repeats = 1;
+    plan.add(runner::RunSpec::custom_job(
+        cfg, migrate ? "misplaced+migration" : "misplaced",
+        [migrate](const runner::RunConfig& c) {
+          return misplaced_run(c, migrate);
+        }));
+  }
+  const auto runs = bench::execute_plan(plan, flags);
 
   // ---------------------------------------------- (1) dynamic bounds ----
   std::printf("(1) Dynamic Equation-(3) bounds on the SPEC mix\n");
   {
     stats::Table table({"variant", "mix avg runtime (s)", "remote ratio (%)"});
-    for (bool dynamic : {false, true}) {
-      runner::RunConfig cfg = base;
-      cfg.sched = runner::SchedKind::kVprobe;
-      cfg.dynamic_bounds = dynamic;
-      const auto m = runner::run_spec(cfg, "mix");
-      table.add_row({dynamic ? "vProbe + dynamic bounds" : "vProbe (static 3/20)",
+    for (std::size_t i = 0; i < 2; ++i) {
+      const stats::RunMetrics& m = runs[i];
+      table.add_row({i == 1 ? "vProbe + dynamic bounds" : "vProbe (static 3/20)",
                      stats::fmt(m.avg_runtime_s, "%.3f"),
                      stats::fmt(m.remote_access_ratio() * 100.0, "%.1f")});
     }
@@ -76,9 +108,8 @@ int main(int argc, char** argv) {
   // ---------------------------------------------- (2) page migration ----
   std::printf("\n(2) Page migration for a VCPU stranded away from its data\n");
   {
-    const double scale = base.instr_scale;
-    const double without = misplaced_runtime(false, scale);
-    const double with = misplaced_runtime(true, scale);
+    const double without = runs[2].avg_runtime_s;
+    const double with = runs[3].avg_runtime_s;
     stats::Table table({"variant", "milc runtime (s)"});
     table.add_row({"VCPU scheduling only (all accesses remote)",
                    stats::fmt(without, "%.3f")});
@@ -88,5 +119,6 @@ int main(int argc, char** argv) {
                 " complementary knob to VCPU scheduling.\n",
                 (1.0 - with / without) * 100.0);
   }
+  bench::maybe_dump_json(flags, runs);
   return 0;
 }

@@ -1,23 +1,29 @@
 // Shared plumbing for the per-figure bench binaries: standard header
-// (machine config = Table I), run-config from CLI flags, and the
+// (machine config = Table I), the shared flag vocabulary (runner/cli.hpp),
+// RunPlan execution with horizon warnings and optional JSON dump, and the
 // three-panel normalized table the SPEC/NPB/memcached/redis figures share.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "numa/machine_config.hpp"
 #include "runner/cli.hpp"
 #include "runner/experiment.hpp"
+#include "runner/run_plan.hpp"
 #include "runner/sweep.hpp"
 #include "stats/csv.hpp"
+#include "stats/json.hpp"
 #include "stats/table.hpp"
 
 namespace vprobe::bench {
 
 /// Print the bench banner with the simulated machine (the paper's Table I).
-inline void print_header(const char* title, const runner::RunConfig& cfg) {
+inline void print_header(const char* title, const runner::BenchFlags& flags) {
+  const runner::RunConfig& cfg = flags.config;
   std::printf("==============================================================\n");
   std::printf("%s\n", title);
   std::printf("==============================================================\n");
@@ -25,32 +31,72 @@ inline void print_header(const char* title, const runner::RunConfig& cfg) {
   std::printf("instr_scale=%.3g  sampling=%.1fs  seed=%llu  repeats=%d\n\n",
               cfg.instr_scale, cfg.sampling_period.to_seconds(),
               static_cast<unsigned long long>(cfg.seed), cfg.repeats);
-}
-
-/// Build the default RunConfig from CLI flags (--scale, --seed, --period,
-/// --repeats).
-inline runner::RunConfig config_from_cli(const runner::Cli& cli,
-                                         double default_scale = 0.25) {
-  runner::RunConfig cfg;
-  cfg.instr_scale = cli.get_double("scale", default_scale);
-  cfg.seed = cli.get_u64("seed", 1);
-  cfg.repeats = cli.get_int("repeats", 3);
-  cfg.sampling_period =
-      sim::Time::seconds(cli.get_double("period", 1.0));
-  return cfg;
-}
-
-/// Scheduler column headers ("workload", then the five approaches).
-inline std::vector<std::string> sched_headers(const std::string& first) {
-  std::vector<std::string> headers{first};
-  for (auto kind : runner::paper_schedulers()) {
-    headers.emplace_back(runner::to_string(kind));
+  // stdout stays byte-identical across --jobs values; worker count goes to
+  // stderr with the progress ticker.
+  if (flags.jobs != 1) {
+    std::fprintf(stderr, "running with %d worker threads\n",
+                 runner::ParallelExecutor({flags.jobs}).resolved_jobs());
   }
+}
+
+/// Executor options for a bench run: --jobs workers, progress ticker on
+/// stderr whenever the run is parallel (stdout stays byte-identical).
+inline runner::ExecutorOptions executor_options(const runner::BenchFlags& flags) {
+  runner::ExecutorOptions opts;
+  opts.jobs = flags.jobs;
+  opts.progress = flags.jobs != 1;
+  return opts;
+}
+
+/// Execute `plan`, print horizon warnings in job order (deterministic
+/// regardless of --jobs), and return metrics in job order.
+inline std::vector<stats::RunMetrics> execute_plan(
+    const runner::RunPlan& plan, const runner::BenchFlags& flags) {
+  auto runs = runner::execute_plan(plan, executor_options(flags));
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].completed) {
+      std::fprintf(stderr, "warning: %s/%s hit the horizon\n",
+                   plan.job(i).label.c_str(),
+                   runner::to_string(plan.job(i).config.sched));
+    }
+  }
+  return runs;
+}
+
+/// --json: dump every run as one JSON object per line ("-" = stdout).
+inline void maybe_dump_json(const runner::BenchFlags& flags,
+                            std::span<const stats::RunMetrics> runs) {
+  if (flags.json_path.empty()) return;
+  if (flags.json_path == "-") {
+    std::printf("\n");
+    for (const auto& m : runs) std::printf("%s\n", stats::to_json(m).c_str());
+    return;
+  }
+  std::ofstream out(flags.json_path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", flags.json_path.c_str());
+    return;
+  }
+  for (const auto& m : runs) out << stats::to_json(m) << "\n";
+}
+
+/// Row `row` of a grid executed row-major with `width` columns.
+inline std::span<const stats::RunMetrics> grid_row(
+    std::span<const stats::RunMetrics> runs, std::size_t row,
+    std::size_t width) {
+  return runs.subspan(row * width, width);
+}
+
+/// Column headers: `first`, then one per scheduler in `kinds`.
+inline std::vector<std::string> sched_headers(
+    const std::string& first, std::span<const runner::SchedKind> kinds) {
+  std::vector<std::string> headers{first};
+  for (auto kind : kinds) headers.emplace_back(runner::to_string(kind));
   return headers;
 }
 
 /// One row of a normalized panel: metric per scheduler, divided by the
-/// Credit (first) entry.
+/// first (Credit) entry.
 inline std::vector<double> normalized_row(
     std::span<const stats::RunMetrics> runs, const runner::MetricFn& metric) {
   return runner::normalize_to_first(runner::collect(runs, metric));

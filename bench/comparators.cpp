@@ -10,37 +10,47 @@ using namespace vprobe;
 
 int main(int argc, char** argv) {
   const runner::Cli cli(argc, argv);
-  runner::RunConfig base = bench::config_from_cli(cli);
+  if (runner::maybe_print_help(
+          cli, "Comparators: the paper's five schedulers + AutoNUMA-style"
+               " balancing"))
+    return 0;
+  const runner::BenchFlags flags = runner::parse_bench_flags(cli);
   bench::print_header(
       "Comparators: the paper's five schedulers + AutoNUMA-style balancing",
-      base);
+      flags);
 
-  std::vector<std::string> headers{"workload"};
-  for (auto kind : runner::all_schedulers()) {
-    headers.emplace_back(runner::to_string(kind));
+  // This sweep covers the extended scheduler list (AutoNUMA included),
+  // unless --sched restricts it.
+  const std::vector<runner::SchedKind> scheds =
+      flags.sched ? std::vector<runner::SchedKind>{*flags.sched}
+                  : std::vector<runner::SchedKind>(
+                        runner::all_schedulers().begin(),
+                        runner::all_schedulers().end());
+  const std::vector<std::string> workloads = {"soplex", "milc", "mix"};
+
+  runner::RunPlan plan;
+  for (const auto& app : workloads) {
+    plan.add_sweep(scheds, runner::RunSpec::spec(flags.config, app));
   }
-  stats::Table time_panel(headers);
-  stats::Table remote_panel(headers);
-  stats::Table llc_panel(headers);
+  const auto all_runs = bench::execute_plan(plan, flags);
 
-  for (const std::string app : {"soplex", "milc", "mix"}) {
-    std::vector<stats::RunMetrics> runs;
-    for (auto kind : runner::all_schedulers()) {
-      runner::RunConfig cfg = base;
-      cfg.sched = kind;
-      runs.push_back(runner::run_spec(cfg, app));
-    }
+  stats::Table time_panel(bench::sched_headers("workload", scheds));
+  stats::Table remote_panel(bench::sched_headers("workload", scheds));
+  stats::Table llc_panel(bench::sched_headers("workload", scheds));
+
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const auto runs = bench::grid_row(all_runs, w, scheds.size());
     std::vector<double> times;
-    if (app == "mix") {
+    if (workloads[w] == "mix") {
       for (const auto& r : runs) {
         times.push_back(runner::mix_normalized_runtime(r, runs.front()));
       }
     } else {
       times = bench::normalized_row(runs, runner::metric_avg_runtime);
     }
-    time_panel.add_row(app, times);
-    remote_panel.add_row(app, bench::normalized_row(runs, runner::metric_remote_accesses));
-    llc_panel.add_row(app, bench::normalized_row(runs, runner::metric_total_accesses));
+    time_panel.add_row(workloads[w], times);
+    remote_panel.add_row(workloads[w], bench::normalized_row(runs, runner::metric_remote_accesses));
+    llc_panel.add_row(workloads[w], bench::normalized_row(runs, runner::metric_total_accesses));
   }
 
   std::printf("(a) Normalized execution time (lower is better)\n");
@@ -53,5 +63,6 @@ int main(int argc, char** argv) {
       "\nExpectation: AutoNUMA lands between Credit and vProbe — strong"
       " remote-access reduction, but greedy task placement piles\nLLC demand"
       " onto popular nodes, which vProbe's even partitioning avoids.\n");
+  bench::maybe_dump_json(flags, all_runs);
   return 0;
 }

@@ -11,14 +11,16 @@ using namespace vprobe;
 
 int main(int argc, char** argv) {
   const runner::Cli cli(argc, argv);
-  runner::RunConfig cfg = bench::config_from_cli(cli);
-  cfg.sched = runner::SchedKind::kCredit;
-  cfg.fig1_memory_config = true;  // VM1/VM2 8 GB, VM3 2 GB (Section II-B)
+  if (runner::maybe_print_help(
+          cli, "Figure 1: remote memory access ratio under the Credit"
+               " scheduler"))
+    return 0;
+  runner::BenchFlags flags = runner::parse_bench_flags(cli);
+  flags.config.sched = runner::SchedKind::kCredit;
+  flags.config.fig1_memory_config = true;  // VM1/VM2 8 GB, VM3 2 GB (Section II-B)
   bench::print_header(
-      "Figure 1: remote memory access ratio under the Credit scheduler", cfg);
-
-  stats::Table table({"application", "suite", "remote ratio (%)", "remote",
-                      "total"});
+      "Figure 1: remote memory access ratio under the Credit scheduler",
+      flags);
 
   const std::vector<std::pair<const char*, const char*>> apps = {
       {"bt", "NPB"},      {"cg", "NPB"},         {"lu", "NPB"},
@@ -26,20 +28,26 @@ int main(int argc, char** argv) {
       {"libquantum", "SPEC"}, {"mcf", "SPEC"},   {"milc", "SPEC"},
   };
 
+  runner::RunPlan plan;
   for (const auto& [app, suite] : apps) {
-    const stats::RunMetrics m =
-        suite == std::string("NPB") ? runner::run_npb(cfg, app)
-                                    : runner::run_spec(cfg, app);
-    table.add_row({app, suite,
+    plan.add(suite == std::string("NPB")
+                 ? runner::RunSpec::npb(flags.config, app)
+                 : runner::RunSpec::spec(flags.config, app));
+  }
+  const auto runs = bench::execute_plan(plan, flags);
+
+  stats::Table table({"application", "suite", "remote ratio (%)", "remote",
+                      "total"});
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const stats::RunMetrics& m = runs[i];
+    table.add_row({apps[i].first, apps[i].second,
                    stats::fmt(m.remote_access_ratio() * 100.0, "%.2f"),
                    stats::fmt(m.remote_mem_accesses, "%.3g"),
                    stats::fmt(m.total_mem_accesses, "%.3g")});
-    if (!m.completed) {
-      std::fprintf(stderr, "warning: %s did not finish before the horizon\n", app);
-    }
   }
   table.print();
   std::printf(
       "\nPaper reference: all apps above ~77%% (soplex lowest at 77.41%%).\n");
+  bench::maybe_dump_json(flags, runs);
   return 0;
 }

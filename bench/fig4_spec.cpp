@@ -4,33 +4,40 @@
 // Everything is normalized to the Credit scheduler.
 #include "bench_common.hpp"
 
+#include <algorithm>
+
 using namespace vprobe;
 
 int main(int argc, char** argv) {
   const runner::Cli cli(argc, argv);
-  runner::RunConfig base = bench::config_from_cli(cli);
-  bench::print_header("Figure 4: SPEC CPU2006 under five VCPU schedulers", base);
+  if (runner::maybe_print_help(
+          cli, "Figure 4: SPEC CPU2006 under five VCPU schedulers",
+          "  --check          verify the paper's qualitative claims (exit 1 on"
+          " failure)"))
+    return 0;
+  const runner::BenchFlags flags = runner::parse_bench_flags(cli);
+  bench::print_header("Figure 4: SPEC CPU2006 under five VCPU schedulers",
+                      flags);
 
   const std::vector<std::string> workloads = {"soplex", "libquantum", "mcf",
                                               "milc", "mix"};
+  const auto scheds = runner::sweep_schedulers(flags);
 
-  stats::Table time_panel(bench::sched_headers("workload"));
-  stats::Table total_panel(bench::sched_headers("workload"));
-  stats::Table remote_panel(bench::sched_headers("workload"));
+  runner::RunPlan plan;
+  for (const auto& app : workloads) {
+    plan.add_sweep(scheds, runner::RunSpec::spec(flags.config, app));
+  }
+  const auto all_runs = bench::execute_plan(plan, flags);
+
+  stats::Table time_panel(bench::sched_headers("workload", scheds));
+  stats::Table total_panel(bench::sched_headers("workload", scheds));
+  stats::Table remote_panel(bench::sched_headers("workload", scheds));
   std::vector<std::pair<std::string, std::vector<double>>> time_rows;
   std::vector<std::pair<std::string, std::vector<double>>> remote_rows;
 
-  for (const auto& app : workloads) {
-    std::vector<stats::RunMetrics> runs;
-    for (auto kind : runner::paper_schedulers()) {
-      runner::RunConfig cfg = base;
-      cfg.sched = kind;
-      runs.push_back(runner::run_spec(cfg, app));
-      if (!runs.back().completed) {
-        std::fprintf(stderr, "warning: %s/%s hit the horizon\n", app.c_str(),
-                     runner::to_string(kind));
-      }
-    }
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const std::string& app = workloads[w];
+    const auto runs = bench::grid_row(all_runs, w, scheds.size());
     // The mix workload normalizes per app before averaging (Section V-B1).
     std::vector<double> times;
     if (app == "mix") {
@@ -58,10 +65,15 @@ int main(int argc, char** argv) {
       "\nPaper reference: vProbe best everywhere; soplex headline gaps vs"
       " Credit/VCPU-P/LB = 32.5%%/16.6%%/10.2%%;\nLB slightly increases total"
       " accesses for soplex and mcf; BRM ~ Credit due to lock contention.\n");
+  bench::maybe_dump_json(flags, all_runs);
 
   // --check: self-verify the paper's qualitative claims (shape regression).
   // Column order: Credit, vProbe, VCPU-P, LB, BRM.
   if (cli.has("check")) {
+    if (scheds.size() != runner::paper_schedulers().size()) {
+      std::fprintf(stderr, "--check needs the full scheduler sweep (no --sched)\n");
+      return 1;
+    }
     int failures = 0;
     auto expect = [&](bool ok, const std::string& what) {
       if (!ok) {

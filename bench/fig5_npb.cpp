@@ -6,29 +6,29 @@ using namespace vprobe;
 
 int main(int argc, char** argv) {
   const runner::Cli cli(argc, argv);
-  runner::RunConfig base = bench::config_from_cli(cli);
-  bench::print_header("Figure 5: NPB under five VCPU schedulers", base);
+  if (runner::maybe_print_help(cli, "Figure 5: NPB under five VCPU schedulers"))
+    return 0;
+  const runner::BenchFlags flags = runner::parse_bench_flags(cli);
+  bench::print_header("Figure 5: NPB under five VCPU schedulers", flags);
 
   const std::vector<std::string> workloads = {"bt", "cg", "lu", "mg", "sp"};
+  const auto scheds = runner::sweep_schedulers(flags);
 
-  stats::Table time_panel(bench::sched_headers("workload"));
-  stats::Table total_panel(bench::sched_headers("workload"));
-  stats::Table remote_panel(bench::sched_headers("workload"));
-
+  runner::RunPlan plan;
   for (const auto& app : workloads) {
-    std::vector<stats::RunMetrics> runs;
-    for (auto kind : runner::paper_schedulers()) {
-      runner::RunConfig cfg = base;
-      cfg.sched = kind;
-      runs.push_back(runner::run_npb(cfg, app));
-      if (!runs.back().completed) {
-        std::fprintf(stderr, "warning: %s/%s hit the horizon\n", app.c_str(),
-                     runner::to_string(kind));
-      }
-    }
-    time_panel.add_row(app, bench::normalized_row(runs, runner::metric_avg_runtime));
-    total_panel.add_row(app, bench::normalized_row(runs, runner::metric_total_accesses));
-    remote_panel.add_row(app, bench::normalized_row(runs, runner::metric_remote_accesses));
+    plan.add_sweep(scheds, runner::RunSpec::npb(flags.config, app));
+  }
+  const auto all_runs = bench::execute_plan(plan, flags);
+
+  stats::Table time_panel(bench::sched_headers("workload", scheds));
+  stats::Table total_panel(bench::sched_headers("workload", scheds));
+  stats::Table remote_panel(bench::sched_headers("workload", scheds));
+
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const auto runs = bench::grid_row(all_runs, w, scheds.size());
+    time_panel.add_row(workloads[w], bench::normalized_row(runs, runner::metric_avg_runtime));
+    total_panel.add_row(workloads[w], bench::normalized_row(runs, runner::metric_total_accesses));
+    remote_panel.add_row(workloads[w], bench::normalized_row(runs, runner::metric_remote_accesses));
   }
 
   std::printf("(a) Normalized execution time (lower is better)\n");
@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
       "\nPaper reference: best case sp — vProbe beats Credit/VCPU-P/LB by"
       " 45.2%%/15.7%%/9.6%%; LB raises total accesses for bt/lu/sp;\nBRM worst"
       " due to lock contention.\n");
+  bench::maybe_dump_json(flags, all_runs);
   return 0;
 }

@@ -7,28 +7,33 @@ using namespace vprobe;
 
 int main(int argc, char** argv) {
   const runner::Cli cli(argc, argv);
-  runner::RunConfig base = bench::config_from_cli(cli);
-  const auto total_ops =
-      static_cast<std::uint64_t>(cli.get_u64("ops", 150'000));
-  bench::print_header("Figure 6: Memcached vs concurrent calls", base);
+  if (runner::maybe_print_help(
+          cli, "Figure 6: Memcached vs concurrent calls",
+          "  --ops N          total memcached operations per run (default"
+          " 150000)"))
+    return 0;
+  const runner::BenchFlags flags = runner::parse_bench_flags(cli);
+  const auto total_ops = static_cast<std::uint64_t>(cli.get_u64("ops", 150'000));
+  bench::print_header("Figure 6: Memcached vs concurrent calls", flags);
 
-  stats::Table time_panel(bench::sched_headers("concurrency"));
-  stats::Table total_panel(bench::sched_headers("concurrency"));
-  stats::Table remote_panel(bench::sched_headers("concurrency"));
-  stats::Table latency_panel(bench::sched_headers("concurrency"));
-
+  const auto scheds = runner::sweep_schedulers(flags);
+  std::vector<int> concurrencies;
+  runner::RunPlan plan;
   for (int concurrency = 16; concurrency <= 112; concurrency += 16) {
-    std::vector<stats::RunMetrics> runs;
-    for (auto kind : runner::paper_schedulers()) {
-      runner::RunConfig cfg = base;
-      cfg.sched = kind;
-      runs.push_back(runner::run_memcached(cfg, concurrency, total_ops));
-      if (!runs.back().completed) {
-        std::fprintf(stderr, "warning: c=%d/%s hit the horizon\n", concurrency,
-                     runner::to_string(kind));
-      }
-    }
-    const std::string label = std::to_string(concurrency);
+    concurrencies.push_back(concurrency);
+    plan.add_sweep(scheds, runner::RunSpec::memcached(flags.config,
+                                                      concurrency, total_ops));
+  }
+  const auto all_runs = bench::execute_plan(plan, flags);
+
+  stats::Table time_panel(bench::sched_headers("concurrency", scheds));
+  stats::Table total_panel(bench::sched_headers("concurrency", scheds));
+  stats::Table remote_panel(bench::sched_headers("concurrency", scheds));
+  stats::Table latency_panel(bench::sched_headers("concurrency", scheds));
+
+  for (std::size_t c = 0; c < concurrencies.size(); ++c) {
+    const auto runs = bench::grid_row(all_runs, c, scheds.size());
+    const std::string label = std::to_string(concurrencies[c]);
     time_panel.add_row(label, bench::normalized_row(runs, runner::metric_avg_runtime));
     total_panel.add_row(label, bench::normalized_row(runs, runner::metric_total_accesses));
     remote_panel.add_row(label, bench::normalized_row(runs, runner::metric_remote_accesses));
@@ -49,5 +54,6 @@ int main(int argc, char** argv) {
       "\nPaper reference: peak vProbe gain at 80 calls (31.3%% vs Credit);"
       " LB beats VCPU-P at low concurrency (16/32),\nVCPU-P wins at high"
       " concurrency where LLC contention dominates.\n");
+  bench::maybe_dump_json(flags, all_runs);
   return 0;
 }

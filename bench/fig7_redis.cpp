@@ -3,32 +3,40 @@
 // total/remote memory accesses, per scheduler.
 #include "bench_common.hpp"
 
+#include <algorithm>
+
 using namespace vprobe;
 
 int main(int argc, char** argv) {
   const runner::Cli cli(argc, argv);
-  runner::RunConfig base = bench::config_from_cli(cli);
+  if (runner::maybe_print_help(
+          cli, "Figure 7: Redis vs parallel connections",
+          "  --requests N     total redis requests per run (default 150000)\n"
+          "  --check          verify Figure 7a's qualitative claims"))
+    return 0;
+  const runner::BenchFlags flags = runner::parse_bench_flags(cli);
   const auto total_requests =
       static_cast<std::uint64_t>(cli.get_u64("requests", 150'000));
-  bench::print_header("Figure 7: Redis vs parallel connections", base);
+  bench::print_header("Figure 7: Redis vs parallel connections", flags);
 
-  stats::Table tput_panel(bench::sched_headers("connections"));
-  stats::Table total_panel(bench::sched_headers("connections"));
-  stats::Table remote_panel(bench::sched_headers("connections"));
+  const auto scheds = runner::sweep_schedulers(flags);
+  std::vector<int> sweep_points;
+  runner::RunPlan plan;
+  for (int connections = 2000; connections <= 10000; connections += 2000) {
+    sweep_points.push_back(connections);
+    plan.add_sweep(scheds, runner::RunSpec::redis(flags.config, connections,
+                                                  total_requests));
+  }
+  const auto all_runs = bench::execute_plan(plan, flags);
+
+  stats::Table tput_panel(bench::sched_headers("connections", scheds));
+  stats::Table total_panel(bench::sched_headers("connections", scheds));
+  stats::Table remote_panel(bench::sched_headers("connections", scheds));
   std::vector<std::vector<double>> tput_rows;
 
-  for (int connections = 2000; connections <= 10000; connections += 2000) {
-    std::vector<stats::RunMetrics> runs;
-    for (auto kind : runner::paper_schedulers()) {
-      runner::RunConfig cfg = base;
-      cfg.sched = kind;
-      runs.push_back(runner::run_redis(cfg, connections, total_requests));
-      if (!runs.back().completed) {
-        std::fprintf(stderr, "warning: p=%d/%s hit the horizon\n", connections,
-                     runner::to_string(kind));
-      }
-    }
-    const std::string label = std::to_string(connections);
+  for (std::size_t p = 0; p < sweep_points.size(); ++p) {
+    const auto runs = bench::grid_row(all_runs, p, scheds.size());
+    const std::string label = std::to_string(sweep_points[p]);
     tput_rows.push_back(runner::collect(runs, runner::metric_throughput));
     tput_panel.add_row(label, tput_rows.back());
     total_panel.add_row(label, bench::normalized_row(runs, runner::metric_total_accesses));
@@ -45,10 +53,15 @@ int main(int argc, char** argv) {
       "\nPaper reference: peak vProbe gain at 2000 connections (26.0%% vs"
       " Credit); VCPU-P beats LB (LLC contention dominates redis);\nBRM ~"
       " Credit despite fewer remote accesses.\n");
+  bench::maybe_dump_json(flags, all_runs);
 
   // --check: vProbe must deliver the best throughput at every sweep point,
   // and throughput must fall as connections grow (Figure 7a's two claims).
   if (cli.has("check")) {
+    if (scheds.size() != runner::paper_schedulers().size()) {
+      std::fprintf(stderr, "--check needs the full scheduler sweep (no --sched)\n");
+      return 1;
+    }
     int failures = 0;
     for (std::size_t i = 0; i < tput_rows.size(); ++i) {
       const auto& row = tput_rows[i];

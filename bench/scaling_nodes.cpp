@@ -7,6 +7,8 @@
 // scheduler leaves (N-1)/N of accesses remote).
 #include "bench_common.hpp"
 
+#include <algorithm>
+
 #include "workload/hungry.hpp"
 #include "workload/spec.hpp"
 
@@ -16,15 +18,11 @@ namespace {
 
 constexpr std::int64_t kGB = 1024ll * 1024 * 1024;
 
-struct Outcome {
-  double avg_runtime_s = 0.0;
-  double remote_ratio = 0.0;
-  bool completed = false;
-};
-
-Outcome run(const numa::MachineConfig& machine, runner::SchedKind kind,
-            std::uint64_t seed, double scale) {
-  auto hv = runner::make_hypervisor(kind, seed, {}, machine);
+/// One consolidation run on `machine` — a custom RunPlan job, so the
+/// executor handles the repeat/seed expansion and averaging.
+stats::RunMetrics run(const numa::MachineConfig& machine,
+                      runner::SchedKind kind, const runner::RunConfig& cfg) {
+  auto hv = runner::make_hypervisor(kind, cfg.seed, {}, machine);
   const int nodes = machine.num_nodes;
 
   // One tenant VM per node's worth of memory (fill-first spreads them),
@@ -39,8 +37,8 @@ Outcome run(const numa::MachineConfig& machine, runner::SchedKind kind,
     tenants.push_back(&dom);
     for (int i = 0; i < 4; ++i) {
       apps.push_back(std::make_unique<wl::SpecApp>(
-          *hv, dom, dom.vcpu(static_cast<std::size_t>(i)), "milc", scale,
-          "milc@" + std::to_string(n) + "#" + std::to_string(i)));
+          *hv, dom, dom.vcpu(static_cast<std::size_t>(i)), "milc",
+          cfg.instr_scale, "milc@" + std::to_string(n) + "#" + std::to_string(i)));
     }
   }
   // Oversubscribed, like every scenario in the paper: CPU hogs fill every
@@ -60,7 +58,9 @@ Outcome run(const numa::MachineConfig& machine, runner::SchedKind kind,
                           [app = a.get()] { app->start(); });
   }
 
-  Outcome out;
+  stats::RunMetrics out;
+  out.scheduler = runner::to_string(kind);
+  out.workload = "scaling:" + std::to_string(nodes) + "-node";
   out.completed = runner::run_until(
       *hv,
       [&] {
@@ -69,12 +69,14 @@ Outcome run(const numa::MachineConfig& machine, runner::SchedKind kind,
       },
       sim::Time::sec(3600));
 
-  double runtime = 0.0;
   pmu::CounterSet counters;
-  for (auto& a : apps) runtime += a->runtime().to_seconds();
+  for (auto& a : apps) {
+    out.app_runtime_s[a->name()] = a->runtime().to_seconds();
+  }
+  out.finalize();
   for (hv::Domain* dom : tenants) counters += dom->total_counters();
-  out.avg_runtime_s = runtime / static_cast<double>(apps.size());
-  out.remote_ratio = counters.remote_accesses / counters.total_mem_accesses();
+  out.total_mem_accesses = counters.total_mem_accesses();
+  out.remote_mem_accesses = counters.remote_accesses;
   return out;
 }
 
@@ -82,36 +84,51 @@ Outcome run(const numa::MachineConfig& machine, runner::SchedKind kind,
 
 int main(int argc, char** argv) {
   const runner::Cli cli(argc, argv);
-  runner::RunConfig cfg = bench::config_from_cli(cli, 0.1);
-  bench::print_header("Scaling: vProbe on 2-node vs 4-node machines", cfg);
+  if (runner::maybe_print_help(
+          cli, "Scaling: vProbe on 2-node vs 4-node machines"))
+    return 0;
+  const runner::BenchFlags flags = runner::parse_bench_flags(cli, 0.1);
+  bench::print_header("Scaling: vProbe on 2-node vs 4-node machines", flags);
+
+  const std::vector<std::pair<const char*, numa::MachineConfig>> machines = {
+      {"2-node Xeon E5620", numa::MachineConfig::xeon_e5620()},
+      {"4-node server", numa::MachineConfig::four_node_server()}};
+  const runner::SchedKind kinds[] = {runner::SchedKind::kCredit,
+                                     runner::SchedKind::kVprobe};
+
+  runner::RunPlan plan;
+  for (const auto& [label, machine] : machines) {
+    for (runner::SchedKind kind : kinds) {
+      plan.add(runner::RunSpec::custom_job(
+          flags.config,
+          std::string(label) + "/" + runner::to_string(kind),
+          [machine, kind](const runner::RunConfig& cfg) {
+            return run(machine, kind, cfg);
+          }));
+    }
+  }
+  const auto runs = bench::execute_plan(plan, flags);
 
   stats::Table table({"machine", "scheduler", "avg milc runtime (s)",
                       "remote ratio (%)", "vProbe gain (%)"});
-  for (const auto& [label, machine] :
-       {std::pair{"2-node Xeon E5620", numa::MachineConfig::xeon_e5620()},
-        std::pair{"4-node server", numa::MachineConfig::four_node_server()}}) {
-    Outcome credit, vprobe;
-    for (int s = 0; s < cfg.repeats; ++s) {
-      const auto c = run(machine, runner::SchedKind::kCredit, cfg.seed + s,
-                         cfg.instr_scale);
-      const auto v = run(machine, runner::SchedKind::kVprobe, cfg.seed + s,
-                         cfg.instr_scale);
-      credit.avg_runtime_s += c.avg_runtime_s / cfg.repeats;
-      credit.remote_ratio += c.remote_ratio / cfg.repeats;
-      vprobe.avg_runtime_s += v.avg_runtime_s / cfg.repeats;
-      vprobe.remote_ratio += v.remote_ratio / cfg.repeats;
-    }
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    const stats::RunMetrics& credit = runs[m * 2];
+    const stats::RunMetrics& vprobe = runs[m * 2 + 1];
     const double gain =
         (1.0 - vprobe.avg_runtime_s / credit.avg_runtime_s) * 100.0;
-    table.add_row({label, "Credit", stats::fmt(credit.avg_runtime_s, "%.3f"),
-                   stats::fmt(credit.remote_ratio * 100.0, "%.1f"), "-"});
-    table.add_row({label, "vProbe", stats::fmt(vprobe.avg_runtime_s, "%.3f"),
-                   stats::fmt(vprobe.remote_ratio * 100.0, "%.1f"),
+    table.add_row({machines[m].first, "Credit",
+                   stats::fmt(credit.avg_runtime_s, "%.3f"),
+                   stats::fmt(credit.remote_access_ratio() * 100.0, "%.1f"),
+                   "-"});
+    table.add_row({machines[m].first, "vProbe",
+                   stats::fmt(vprobe.avg_runtime_s, "%.3f"),
+                   stats::fmt(vprobe.remote_access_ratio() * 100.0, "%.1f"),
                    stats::fmt(gain, "%.1f")});
   }
   table.print();
   std::printf(
       "\nExpectation: the NUMA-oblivious baseline leaves roughly (N-1)/N of"
       " accesses remote, so vProbe's headroom grows with node count.\n");
+  bench::maybe_dump_json(flags, runs);
   return 0;
 }

@@ -2,6 +2,7 @@
 //
 //   $ ./run_scenario examples/scenarios/paper_soplex.scn
 //   $ ./run_scenario my.scn --json
+//   $ ./run_scenario my.scn --repeats 5 --jobs 5   # averaged over 5 seeds
 //
 // With no argument, runs a built-in demo scenario and prints the file
 // format, so the example is self-documenting.
@@ -10,6 +11,7 @@
 #include <sstream>
 
 #include "runner/cli.hpp"
+#include "runner/run_plan.hpp"
 #include "runner/scenario_file.hpp"
 #include "stats/json.hpp"
 #include "stats/table.hpp"
@@ -41,6 +43,12 @@ app vm=VM3 kind=hungry
 
 int main(int argc, char** argv) {
   const runner::Cli cli(argc, argv);
+  if (runner::maybe_print_help(
+          cli, "Run a scenario file (built-in demo when no file is given)",
+          "  <file.scn>       positional: scenario file to run\n"
+          "  --repeats N      average over N seeds (default 1; seeds from"
+          " the scenario's base seed)"))
+    return 0;
 
   std::string text;
   if (cli.positional().empty()) {
@@ -66,7 +74,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const stats::RunMetrics m = runner::run_scenario(spec);
+  // One custom job: the executor expands --repeats into per-seed runs
+  // (offsetting the scenario's base seed) and averages the results.
+  runner::RunConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.repeats = cli.get_int("repeats", 1);
+  runner::RunPlan plan;
+  plan.add(runner::RunSpec::custom_job(
+      cfg, "scenario", [&spec](const runner::RunConfig& c) {
+        runner::ScenarioSpec seeded = spec;
+        seeded.seed = c.seed;
+        return runner::run_scenario(seeded);
+      }));
+  runner::ExecutorOptions opts;
+  opts.jobs = cli.get_int("jobs", 1);
+  opts.progress = opts.jobs != 1;
+  const stats::RunMetrics m = runner::execute_plan(plan, opts).front();
 
   if (cli.has("json")) {
     std::printf("%s\n", stats::to_json(m).c_str());

@@ -242,8 +242,9 @@ void Hypervisor::start_running(Pcpu& p, Vcpu& v, sim::Time slice) {
     ++v.migrations;
     if (cross) ++v.cross_node_migrations;
     emit(trace::EventKind::kMigration, v.id(), p.id, v.last_ran_pcpu);
-    VPROBE_DEBUG("hv", "%s migrated pcpu %d -> %d%s", v.name().c_str(),
-                 v.last_ran_pcpu, p.id, cross ? " (cross-node)" : "");
+    VPROBE_CLOG(engine_.log(), sim::LogLevel::kDebug, "hv",
+                "%s migrated pcpu %d -> %d%s", v.name().c_str(),
+                v.last_ran_pcpu, p.id, cross ? " (cross-node)" : "");
   }
   emit(trace::EventKind::kSwitchIn, v.id(), p.id);
   v.pcpu = p.id;

@@ -1,12 +1,22 @@
-// Tiny command-line option reader for benches and examples.
-// Accepts "--key=value" and bare "--flag" arguments; anything else is
-// collected as a positional argument.
+// Shared command-line handling for every bench binary and example.
+//
+// The Cli class is a tiny option reader: it accepts "--key=value", bare
+// "--flag", and — for the standard value-taking keys below — the
+// space-separated "--key value" form; anything else is collected as a
+// positional argument.
+//
+// On top of it, BenchFlags/parse_bench_flags() define the flag vocabulary
+// every bench shares (--jobs, --repeats, --seed, --instr-scale, --sched,
+// --json, ...), so binaries stop hand-rolling their own argv handling.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "runner/experiment.hpp"
 
 namespace vprobe::runner {
 
@@ -24,10 +34,35 @@ class Cli {
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 
+  /// True when --help (or -h) was given.
+  bool help_requested() const;
+
  private:
   std::string program_;
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
 };
+
+/// The standard flags shared by the bench binaries and examples.
+struct BenchFlags {
+  RunConfig config;                ///< --sched/--seed/--repeats/--instr-scale/--period
+  int jobs = 1;                    ///< --jobs N worker threads (0 = all cores)
+  std::string json_path;           ///< --json <path> ("-" = stdout; empty = off)
+  std::optional<SchedKind> sched;  ///< --sched NAME restricts scheduler sweeps
+};
+
+/// Parse the standard flags.  `default_scale` seeds --instr-scale (alias
+/// --scale).  Prints an error and exits(2) on an unknown scheduler name.
+BenchFlags parse_bench_flags(const Cli& cli, double default_scale = 0.25);
+
+/// The standard --help text (shared flags), plus `extra` lines a binary
+/// wants to append (may be nullptr).  Returns true when help was requested
+/// and printed — the caller should then exit 0.
+bool maybe_print_help(const Cli& cli, const char* summary,
+                      const char* extra = nullptr);
+
+/// The schedulers a sweep should cover: --sched NAME restricts the sweep
+/// to one scheduler, otherwise the paper's five.
+std::vector<SchedKind> sweep_schedulers(const BenchFlags& flags);
 
 }  // namespace vprobe::runner

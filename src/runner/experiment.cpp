@@ -1,5 +1,7 @@
 #include "runner/experiment.hpp"
 
+#include "runner/run_plan.hpp"
+
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
@@ -56,49 +58,6 @@ VmSizes vm_sizes(const RunConfig& config) {
   return VmSizes{};
 }
 
-/// Average an experiment over config.repeats seeds (AND-ing `completed`).
-stats::RunMetrics averaged(
-    const RunConfig& config,
-    const std::function<stats::RunMetrics(const RunConfig&)>& one) {
-  if (config.repeats <= 1) return one(config);
-  stats::RunMetrics acc;
-  for (int r = 0; r < config.repeats; ++r) {
-    RunConfig c = config;
-    c.seed = config.seed + static_cast<std::uint64_t>(r);
-    const stats::RunMetrics m = one(c);
-    if (r == 0) {
-      acc = m;
-      continue;
-    }
-    acc.completed = acc.completed && m.completed;
-    for (const auto& [name, t] : m.app_runtime_s) acc.app_runtime_s[name] += t;
-    acc.avg_runtime_s += m.avg_runtime_s;
-    acc.total_mem_accesses += m.total_mem_accesses;
-    acc.remote_mem_accesses += m.remote_mem_accesses;
-    acc.throughput_rps += m.throughput_rps;
-    acc.latency_p50_s += m.latency_p50_s;
-    acc.latency_p99_s += m.latency_p99_s;
-    acc.overhead_fraction += m.overhead_fraction;
-    acc.migrations += m.migrations;
-    acc.cross_node_migrations += m.cross_node_migrations;
-    acc.sim_seconds += m.sim_seconds;
-  }
-  const double n = config.repeats;
-  for (auto& [name, t] : acc.app_runtime_s) t /= n;
-  acc.avg_runtime_s /= n;
-  acc.total_mem_accesses /= n;
-  acc.remote_mem_accesses /= n;
-  acc.throughput_rps /= n;
-  acc.latency_p50_s /= n;
-  acc.latency_p99_s /= n;
-  acc.overhead_fraction /= n;
-  acc.migrations = static_cast<std::uint64_t>(static_cast<double>(acc.migrations) / n);
-  acc.cross_node_migrations =
-      static_cast<std::uint64_t>(static_cast<double>(acc.cross_node_migrations) / n);
-  acc.sim_seconds /= n;
-  return acc;
-}
-
 /// Guest-kernel housekeeping on the domain's VCPUs that carry no app
 /// thread (a real guest's online VCPUs are never completely silent).
 std::unique_ptr<wl::GuestOsTicks> guest_ticks(hv::Hypervisor& hv,
@@ -116,7 +75,7 @@ std::unique_ptr<wl::GuestOsTicks> guest_ticks(hv::Hypervisor& hv,
 
 }  // namespace
 
-static stats::RunMetrics run_spec_once(const RunConfig& config, std::string_view app) {
+stats::RunMetrics run_spec_single(const RunConfig& config, std::string_view app) {
   auto hv = make_hypervisor(config.sched, config.seed, scheduler_options(config));
   StandardVms vms = create_standard_vms(*hv, vm_sizes(config));
 
@@ -183,7 +142,7 @@ static stats::RunMetrics run_spec_once(const RunConfig& config, std::string_view
   return m;
 }
 
-static stats::RunMetrics run_npb_once(const RunConfig& config, std::string_view app) {
+stats::RunMetrics run_npb_single(const RunConfig& config, std::string_view app) {
   auto hv = make_hypervisor(config.sched, config.seed, scheduler_options(config));
   StandardVms vms = create_standard_vms(*hv, vm_sizes(config));
 
@@ -218,8 +177,8 @@ static stats::RunMetrics run_npb_once(const RunConfig& config, std::string_view 
   return m;
 }
 
-static stats::RunMetrics run_memcached_once(const RunConfig& config, int concurrency,
-                                std::uint64_t total_ops) {
+stats::RunMetrics run_memcached_single(const RunConfig& config, int concurrency,
+                                       std::uint64_t total_ops) {
   auto hv = make_hypervisor(config.sched, config.seed, scheduler_options(config));
   StandardVms vms = create_standard_vms(*hv, vm_sizes(config));
 
@@ -259,8 +218,8 @@ static stats::RunMetrics run_memcached_once(const RunConfig& config, int concurr
   return m;
 }
 
-static stats::RunMetrics run_redis_once(const RunConfig& config, int connections,
-                            std::uint64_t total_requests) {
+stats::RunMetrics run_redis_single(const RunConfig& config, int connections,
+                                   std::uint64_t total_requests) {
   auto hv = make_hypervisor(config.sched, config.seed, scheduler_options(config));
   StandardVms vms = create_standard_vms(*hv, vm_sizes(config));
 
@@ -321,7 +280,7 @@ static SoloMetrics run_solo_impl(const RunConfig& config, std::string_view app) 
   return sm;
 }
 
-static stats::RunMetrics run_overhead_once(const RunConfig& config, int num_vms) {
+stats::RunMetrics run_overhead_single(const RunConfig& config, int num_vms) {
   RunConfig cfg = config;
   cfg.sched = SchedKind::kVprobe;
   auto hv = make_hypervisor(cfg.sched, cfg.seed, scheduler_options(cfg));
@@ -365,32 +324,40 @@ static stats::RunMetrics run_overhead_once(const RunConfig& config, int num_vms)
 
 
 // -- Public entry points: seed-averaged wrappers ------------------------------
+//
+// The repeats loop lives in the RunPlan executor now; these wrappers run a
+// one-job plan serially, which keeps the averaging math (and its results)
+// in exactly one place.
+
+static stats::RunMetrics one_job(RunSpec spec) {
+  RunPlan plan;
+  plan.add(std::move(spec));
+  auto results = ParallelExecutor(ExecutorOptions{}).run(plan);
+  RunResult& r = results.front();
+  if (!r.ok()) throw std::runtime_error(r.error);
+  return std::move(r.metrics);
+}
 
 stats::RunMetrics run_spec(const RunConfig& config, std::string_view app) {
-  return averaged(config, [&](const RunConfig& c) { return run_spec_once(c, app); });
+  return one_job(RunSpec::spec(config, app));
 }
 
 stats::RunMetrics run_npb(const RunConfig& config, std::string_view app) {
-  return averaged(config, [&](const RunConfig& c) { return run_npb_once(c, app); });
+  return one_job(RunSpec::npb(config, app));
 }
 
 stats::RunMetrics run_memcached(const RunConfig& config, int concurrency,
                                 std::uint64_t total_ops) {
-  return averaged(config, [&](const RunConfig& c) {
-    return run_memcached_once(c, concurrency, total_ops);
-  });
+  return one_job(RunSpec::memcached(config, concurrency, total_ops));
 }
 
 stats::RunMetrics run_redis(const RunConfig& config, int connections,
                             std::uint64_t total_requests) {
-  return averaged(config, [&](const RunConfig& c) {
-    return run_redis_once(c, connections, total_requests);
-  });
+  return one_job(RunSpec::redis(config, connections, total_requests));
 }
 
 stats::RunMetrics run_overhead(const RunConfig& config, int num_vms) {
-  return averaged(config,
-                  [&](const RunConfig& c) { return run_overhead_once(c, num_vms); });
+  return one_job(RunSpec::overhead(config, num_vms));
 }
 
 SoloMetrics run_solo(const RunConfig& config, std::string_view app) {

@@ -33,6 +33,17 @@ struct RunConfig {
 /// be "mix" — one instance each of soplex/libquantum/mcf/milc per VM.
 stats::RunMetrics run_spec(const RunConfig& config, std::string_view app);
 
+/// Single-seed variants: one simulation, config.repeats ignored.  These are
+/// the units the RunPlan executor (run_plan.hpp) schedules; the plain
+/// entry points below average them over config.repeats seeds.
+stats::RunMetrics run_spec_single(const RunConfig& config, std::string_view app);
+stats::RunMetrics run_npb_single(const RunConfig& config, std::string_view app);
+stats::RunMetrics run_memcached_single(const RunConfig& config, int concurrency,
+                                       std::uint64_t total_ops);
+stats::RunMetrics run_redis_single(const RunConfig& config, int connections,
+                                   std::uint64_t total_requests);
+stats::RunMetrics run_overhead_single(const RunConfig& config, int num_vms);
+
 /// NPB workload (Figure 5): a 4-threaded `app` in VM1 and VM2 each.
 stats::RunMetrics run_npb(const RunConfig& config, std::string_view app);
 

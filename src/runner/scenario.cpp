@@ -24,6 +24,19 @@ const char* to_string(SchedKind kind) {
   return "?";
 }
 
+std::optional<SchedKind> sched_from_name(std::string_view name) {
+  for (SchedKind kind : all_schedulers()) {
+    if (name == to_string(kind)) return kind;
+  }
+  if (name == "credit") return SchedKind::kCredit;
+  if (name == "vprobe") return SchedKind::kVprobe;
+  if (name == "vcpu_p") return SchedKind::kVcpuP;
+  if (name == "lb") return SchedKind::kLb;
+  if (name == "brm") return SchedKind::kBrm;
+  if (name == "autonuma") return SchedKind::kAutoNuma;
+  return std::nullopt;
+}
+
 std::span<const SchedKind> paper_schedulers() {
   static constexpr std::array kPaper = {SchedKind::kCredit, SchedKind::kVprobe,
                                         SchedKind::kVcpuP, SchedKind::kLb,

@@ -5,7 +5,9 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "hv/hypervisor.hpp"
@@ -19,6 +21,11 @@ namespace vprobe::runner {
 enum class SchedKind { kCredit, kVprobe, kVcpuP, kLb, kBrm, kAutoNuma };
 
 const char* to_string(SchedKind kind);
+
+/// Parse a scheduler name: the scenario-file spellings ("credit", "vprobe",
+/// "vcpu_p", "lb", "brm", "autonuma") or the display names from
+/// to_string().  Empty optional when unknown.
+std::optional<SchedKind> sched_from_name(std::string_view name);
 
 /// The paper's five, in its legend order.
 std::span<const SchedKind> paper_schedulers();

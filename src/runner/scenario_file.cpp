@@ -20,12 +20,7 @@ std::invalid_argument err(int line, const std::string& what) {
 }
 
 SchedKind parse_sched(const std::string& name, int line) {
-  if (name == "credit") return SchedKind::kCredit;
-  if (name == "vprobe") return SchedKind::kVprobe;
-  if (name == "vcpu_p") return SchedKind::kVcpuP;
-  if (name == "lb") return SchedKind::kLb;
-  if (name == "brm") return SchedKind::kBrm;
-  if (name == "autonuma") return SchedKind::kAutoNuma;
+  if (const auto kind = sched_from_name(name)) return *kind;
   throw err(line, "unknown scheduler '" + name + "'");
 }
 

@@ -12,6 +12,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/log.hpp"
 #include "sim/time.hpp"
 
 namespace vprobe::sim {
@@ -44,12 +45,16 @@ class EventHandle {
 /// The simulation engine: a clock plus an ordered event queue.
 class Engine {
  public:
-  Engine() = default;
+  Engine() { log_.bind_clock(this); }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Current simulated time.
   Time now() const { return now_; }
+
+  /// This engine's log sink; messages carry this engine's simulated time.
+  LogContext& log() { return log_; }
+  const LogContext& log() const { return log_; }
 
   /// Schedule `fn` to run at absolute time `when` (must be >= now()).
   EventHandle schedule_at(Time when, std::function<void()> fn);
@@ -96,6 +101,7 @@ class Engine {
 
   bool pop_one();  // fire the earliest event; false if queue empty
 
+  LogContext log_;
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

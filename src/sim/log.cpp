@@ -4,8 +4,9 @@
 
 namespace vprobe::sim {
 
-LogLevel Log::level_ = LogLevel::kOff;
-const Engine* Log::engine_ = nullptr;
+std::atomic<LogLevel> Log::default_level_{LogLevel::kOff};
+
+LogContext::LogContext() : level_(Log::level()) {}
 
 namespace {
 const char* level_name(LogLevel level) {
@@ -20,12 +21,12 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void Log::emit_prefix(LogLevel level, const char* tag) {
+void LogContext::emit_prefix(LogLevel level, const char* tag) const {
   if (engine_ != nullptr) {
-    std::fprintf(stderr, "[%12.6f] %s %-8s ", engine_->now().to_seconds(),
+    std::fprintf(sink_, "[%12.6f] %s %-8s ", engine_->now().to_seconds(),
                  level_name(level), tag);
   } else {
-    std::fprintf(stderr, "[   --.-- ] %s %-8s ", level_name(level), tag);
+    std::fprintf(sink_, "[   --.-- ] %s %-8s ", level_name(level), tag);
   }
 }
 

@@ -1,10 +1,21 @@
 // Minimal structured logging for the simulator.
 //
 // Logging is off by default (benchmarks must run clean); tests and examples
-// can raise the level.  The logger prefixes each line with the simulated
-// time of the Engine it is bound to, which makes scheduler traces readable.
+// can raise the level.  Each Engine owns a LogContext that prefixes lines
+// with that engine's simulated time, which keeps scheduler traces readable
+// even when several simulations run concurrently.
+//
+// Thread-safety design note (TSan-reviewed): simulations run concurrently —
+// one Engine per worker thread — so there must be no mutable static state
+// reachable from two running engines.  All per-run state (level, clock
+// binding, sink) lives in the engine's LogContext; the only process-global
+// left is the *default* level new contexts inherit, stored in a lock-free
+// atomic that is written by Log::set_level() (main thread, before runs
+// start) and read once per Engine construction.  Two engines logging at
+// once interleave at most at the granularity of one fprintf call.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 
@@ -16,42 +27,102 @@ class Engine;
 
 enum class LogLevel : int { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
 
-/// Process-wide log configuration.  Not thread-safe by design: the simulator
-/// is single-threaded (discrete-event), and benches run serially.
+/// Per-simulation log sink: level, clock binding and output stream for one
+/// Engine.  Not shared between engines; safe to use from the (single)
+/// thread driving its engine while other engines run on other threads.
+class LogContext {
+ public:
+  LogContext();  ///< inherits Log::default_level(), sink = stderr
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Bind a clock so messages carry simulated timestamps (nullptr to
+  /// unbind).  Engine binds itself on construction.
+  void bind_clock(const Engine* engine) { engine_ = engine; }
+
+  /// Redirect output (default stderr).  Non-owning.
+  void set_sink(std::FILE* sink) { sink_ = sink; }
+  std::FILE* sink() const { return sink_; }
+
+  bool enabled(LogLevel level) const { return level <= level_; }
+
+  /// printf-style logging.  Example: ctx.write(LogLevel::kDebug, "hv",
+  /// "vcpu %d migrated to pcpu %d", v, p);
+  template <typename... Args>
+  void write(LogLevel level, const char* tag, const char* fmt,
+             Args... args) const {
+    if (!enabled(level)) return;
+    emit_prefix(level, tag);
+    std::fprintf(sink_, fmt, args...);
+    std::fputc('\n', sink_);
+  }
+
+  void write(LogLevel level, const char* tag, const char* msg) const {
+    if (!enabled(level)) return;
+    emit_prefix(level, tag);
+    std::fputs(msg, sink_);
+    std::fputc('\n', sink_);
+  }
+
+ private:
+  void emit_prefix(LogLevel level, const char* tag) const;
+
+  LogLevel level_;
+  const Engine* engine_ = nullptr;
+  std::FILE* sink_ = stderr;
+};
+
+/// Thin process-global shim for call sites with no engine at hand (startup
+/// code, tests raising verbosity before building a hypervisor).  Holds no
+/// mutable state beyond the atomic default level; messages carry no
+/// simulated timestamp.
 class Log {
  public:
-  static void set_level(LogLevel level) { level_ = level; }
-  static LogLevel level() { return level_; }
+  /// Default level inherited by every LogContext constructed afterwards.
+  /// Call from the main thread before launching concurrent runs.
+  static void set_level(LogLevel level) {
+    default_level_.store(level, std::memory_order_relaxed);
+  }
+  static LogLevel level() {
+    return default_level_.load(std::memory_order_relaxed);
+  }
 
-  /// Bind a clock so messages carry simulated timestamps (nullptr to unbind).
-  static void bind_clock(const Engine* engine) { engine_ = engine; }
+  static bool enabled(LogLevel level) { return level <= Log::level(); }
 
-  static bool enabled(LogLevel level) { return level <= level_; }
-
-  /// printf-style logging.  Example: Log::write(LogLevel::kDebug, "hv",
-  /// "vcpu %d migrated to pcpu %d", v, p);
   template <typename... Args>
   static void write(LogLevel level, const char* tag, const char* fmt,
                     Args... args) {
     if (!enabled(level)) return;
-    emit_prefix(level, tag);
-    std::fprintf(stderr, fmt, args...);
-    std::fputc('\n', stderr);
+    LogContext ctx;  // unbound: "--.--" timestamp, current default level
+    ctx.write(level, tag, fmt, args...);
   }
 
   static void write(LogLevel level, const char* tag, const char* msg) {
     if (!enabled(level)) return;
-    emit_prefix(level, tag);
-    std::fputs(msg, stderr);
-    std::fputc('\n', stderr);
+    LogContext ctx;
+    ctx.write(level, tag, msg);
   }
 
  private:
-  static void emit_prefix(LogLevel level, const char* tag);
-  static LogLevel level_;
-  static const Engine* engine_;
+  static std::atomic<LogLevel> default_level_;
+  static_assert(std::atomic<LogLevel>::is_always_lock_free,
+                "the process-global default level must stay a lock-free "
+                "atomic: it is the only static the logger keeps, and "
+                "concurrent engines may construct LogContexts while it is "
+                "being read");
 };
 
+/// Log through a specific context (the per-engine form; `ctx` is a
+/// LogContext, e.g. `engine.log()`).
+#define VPROBE_CLOG(ctx, level, tag, ...)       \
+  do {                                          \
+    if ((ctx).enabled(level)) {                 \
+      (ctx).write(level, tag, __VA_ARGS__);     \
+    }                                           \
+  } while (0)
+
+/// Process-global convenience forms (no simulated timestamp).
 #define VPROBE_LOG(level, tag, ...)                                  \
   do {                                                               \
     if (::vprobe::sim::Log::enabled(level)) {                        \

@@ -1,0 +1,52 @@
+#include "stats/aggregate.hpp"
+
+namespace vprobe::stats {
+
+void MetricsAccumulator::add(const RunMetrics& m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++n_;
+  if (n_ == 1) {
+    acc_ = m;
+    return;
+  }
+  acc_.completed = acc_.completed && m.completed;
+  for (const auto& [name, t] : m.app_runtime_s) acc_.app_runtime_s[name] += t;
+  acc_.avg_runtime_s += m.avg_runtime_s;
+  acc_.total_mem_accesses += m.total_mem_accesses;
+  acc_.remote_mem_accesses += m.remote_mem_accesses;
+  acc_.throughput_rps += m.throughput_rps;
+  acc_.latency_p50_s += m.latency_p50_s;
+  acc_.latency_p99_s += m.latency_p99_s;
+  acc_.overhead_fraction += m.overhead_fraction;
+  acc_.migrations += m.migrations;
+  acc_.cross_node_migrations += m.cross_node_migrations;
+  acc_.sim_seconds += m.sim_seconds;
+}
+
+RunMetrics MetricsAccumulator::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n_ <= 1) return acc_;
+  RunMetrics out = acc_;
+  const double n = static_cast<double>(n_);
+  for (auto& [name, t] : out.app_runtime_s) t /= n;
+  out.avg_runtime_s /= n;
+  out.total_mem_accesses /= n;
+  out.remote_mem_accesses /= n;
+  out.throughput_rps /= n;
+  out.latency_p50_s /= n;
+  out.latency_p99_s /= n;
+  out.overhead_fraction /= n;
+  out.migrations =
+      static_cast<std::uint64_t>(static_cast<double>(out.migrations) / n);
+  out.cross_node_migrations = static_cast<std::uint64_t>(
+      static_cast<double>(out.cross_node_migrations) / n);
+  out.sim_seconds /= n;
+  return out;
+}
+
+std::size_t MetricsAccumulator::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return n_;
+}
+
+}  // namespace vprobe::stats
