@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local CI gate. Mirrors .github/workflows/ci.yml so a green run
+# here means a green run there.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== default preset: build + full test suite =="
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+ctest --preset default -j "$JOBS"
+
+echo "== labelled suites (golden, differential) =="
+ctest --test-dir build -L golden --output-on-failure
+ctest --test-dir build -L differential --output-on-failure
+
+echo "== tsan preset: parallel-executor tests under ThreadSanitizer =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+ctest --preset tsan
+
+echo "== release preset: checker hooks compiled out =="
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+ctest --test-dir build-release -j "$JOBS"
+
+echo "CI gate: all green"

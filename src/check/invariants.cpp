@@ -1,0 +1,336 @@
+#include "check/invariants.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "hv/credit.hpp"
+#include "hv/domain.hpp"
+#include "hv/hypervisor.hpp"
+#include "hv/pcpu.hpp"
+#include "numa/vm_memory.hpp"
+
+namespace vprobe::check {
+
+namespace {
+
+std::string describe(const hv::Vcpu& v) {
+  std::ostringstream os;
+  os << v.name() << " (vcpu " << v.id() << ", state " << to_string(v.state)
+     << ", pcpu " << v.pcpu << ")";
+  return os.str();
+}
+
+}  // namespace
+
+InvariantChecker::~InvariantChecker() { detach(); }
+
+void InvariantChecker::attach(hv::Hypervisor& hv) {
+  detach();
+  hv_ = &hv;
+  hv.engine().set_observer(this);
+  hv.set_observer(this);
+}
+
+void InvariantChecker::detach() {
+  if (hv_ == nullptr) return;
+  if (hv_->engine().observer() == this) hv_->engine().set_observer(nullptr);
+  if (hv_->observer() == this) hv_->set_observer(nullptr);
+  hv_ = nullptr;
+}
+
+void InvariantChecker::clear() {
+  violations_.clear();
+  total_violations_ = 0;
+  checks_run_ = 0;
+  events_seen_ = 0;
+  have_last_event_ = false;
+}
+
+void InvariantChecker::report(std::string what) {
+  ++total_violations_;
+  if (violations_.size() < cfg_.max_violations) {
+    sim::Time when = hv_ != nullptr ? hv_->now() : sim::Time::zero();
+    violations_.push_back(Violation{std::move(what), when});
+  }
+}
+
+void InvariantChecker::expect_ok() const {
+  if (ok()) return;
+  std::ostringstream os;
+  os << "invariant checker: " << total_violations_ << " violation(s)";
+  for (std::size_t i = 0; i < violations_.size() && i < 8; ++i) {
+    os << "\n  [" << violations_[i].when.nanos() << " ns] "
+       << violations_[i].what;
+  }
+  throw std::runtime_error(os.str());
+}
+
+void InvariantChecker::check_now() {
+  if (hv_ == nullptr) return;
+  ++checks_run_;
+  if (cfg_.runqueues) check_runqueues();
+  if (cfg_.credits) check_credit_legality();
+  if (cfg_.memory) check_memory();
+}
+
+// -- engine hook --------------------------------------------------------------
+
+void InvariantChecker::on_event(sim::Time when, std::uint64_t seq) {
+  ++events_seen_;
+  if (!cfg_.event_time) return;
+  if (have_last_event_) {
+    if (when < last_event_time_) {
+      std::ostringstream os;
+      os << "engine: event time went backwards (" << when.nanos() << " ns after "
+         << last_event_time_.nanos() << " ns)";
+      report(os.str());
+    } else if (when == last_event_time_ && seq <= last_event_seq_) {
+      std::ostringstream os;
+      os << "engine: FIFO order broken at " << when.nanos() << " ns (seq " << seq
+         << " after seq " << last_event_seq_ << ")";
+      report(os.str());
+    }
+  }
+  have_last_event_ = true;
+  last_event_time_ = when;
+  last_event_seq_ = seq;
+}
+
+// -- hypervisor hooks ---------------------------------------------------------
+
+void InvariantChecker::after_tick(hv::Hypervisor& hv, hv::Pcpu& pcpu) {
+  (void)pcpu;
+  if (hv_ != &hv) return;  // ignore stray hypervisors
+  check_now();
+}
+
+void InvariantChecker::before_accounting(hv::Hypervisor& hv) {
+  if (hv_ != &hv || !cfg_.credits) return;
+  credits_before_.clear();
+  for (const hv::Vcpu* v : hv.all_vcpus()) credits_before_.push_back(v->credits);
+}
+
+void InvariantChecker::after_accounting(hv::Hypervisor& hv) {
+  if (hv_ != &hv) return;
+  if (cfg_.credits) {
+    const auto* credit =
+        dynamic_cast<const hv::CreditScheduler*>(&hv.scheduler());
+    auto vcpus = hv.all_vcpus();
+    if (credit != nullptr && credits_before_.size() == vcpus.size()) {
+      const auto& p = credit->params();
+      // Budget of one accounting pass: each PCPU's running VCPU burns
+      // credits_per_tick per tick, and the accounting pass redistributes at
+      // most what the machine burned since the last pass.
+      const double ticks_per_acct =
+          hv.config().accounting_period / hv.config().tick_period;
+      const double credit_total = p.credits_per_tick * ticks_per_acct *
+                                  static_cast<double>(hv.pcpus().size());
+      double granted = 0.0;
+      for (std::size_t i = 0; i < vcpus.size(); ++i) {
+        const hv::Vcpu& v = *vcpus[i];
+        const double delta = v.credits - credits_before_[i];
+        if (delta < -cfg_.epsilon) {
+          std::ostringstream os;
+          os << "credit: accounting debited " << describe(v) << " by " << -delta
+             << " credits (accounting may only grant)";
+          report(os.str());
+        }
+        if (v.active() &&
+            (v.credits < p.credit_floor - cfg_.epsilon ||
+             v.credits > p.credit_cap + cfg_.epsilon)) {
+          std::ostringstream os;
+          os << "credit: accounting left " << describe(v) << " with "
+             << v.credits << " credits, outside [" << p.credit_floor << ", "
+             << p.credit_cap << "]";
+          report(os.str());
+        }
+        if (delta > 0.0) granted += delta;
+      }
+      if (granted > credit_total + cfg_.epsilon) {
+        std::ostringstream os;
+        os << "credit: accounting granted " << granted
+           << " credits, more than the machine budget " << credit_total;
+        report(os.str());
+      }
+    }
+    credits_before_.clear();
+  }
+  check_now();
+}
+
+// -- sweeps -------------------------------------------------------------------
+
+void InvariantChecker::check_runqueues() {
+  // How many run queues each VCPU appears on (and where each is current);
+  // keyed by pointer because global ids are not dense across domains.
+  std::unordered_map<const hv::Vcpu*, int> queued;
+  std::unordered_map<const hv::Vcpu*, const hv::Pcpu*> running_on;
+  for (hv::Pcpu& p : hv_->pcpus()) {
+    for (const hv::Vcpu* v : p.queue.items()) {
+      ++queued[v];
+      if (v->state != hv::VcpuState::kRunnable) {
+        report("runqueue: " + describe(*v) + " is queued on pcpu " +
+               std::to_string(p.id) + " but is not Runnable");
+      }
+      if (v->pcpu != p.id) {
+        report("runqueue: " + describe(*v) + " sits on pcpu " +
+               std::to_string(p.id) + "'s queue but records pcpu " +
+               std::to_string(v->pcpu));
+      }
+      if (!v->in_runqueue) {
+        report("runqueue: " + describe(*v) +
+               " is queued but in_runqueue is false");
+      }
+      if (!v->allowed_on(p.id)) {
+        report("runqueue: " + describe(*v) + " is queued on pcpu " +
+               std::to_string(p.id) + " outside its affinity mask");
+      }
+    }
+    if (p.current != nullptr) {
+      const hv::Vcpu& v = *p.current;
+      if (!running_on.emplace(&v, &p).second) {
+        report("runqueue: " + describe(v) + " is current on two PCPUs");
+      }
+      if (v.state != hv::VcpuState::kRunning) {
+        report("runqueue: " + describe(v) + " is current on pcpu " +
+               std::to_string(p.id) + " but is not Running");
+      }
+      if (v.pcpu == p.id) {
+        if (!v.allowed_on(p.id)) {
+          report("runqueue: " + describe(v) + " runs on pcpu " +
+                 std::to_string(p.id) + " outside its affinity mask");
+        }
+      } else {
+        // migrate_to_node() retargets vcpu.pcpu immediately but descheduling
+        // is asynchronous (Xen's IPI), so a running VCPU may legitimately
+        // point at its destination for a few events.  The destination must
+        // at least be a real, affinity-legal PCPU.
+        if (v.pcpu < 0 || v.pcpu >= static_cast<int>(hv_->pcpus().size()) ||
+            !v.allowed_on(v.pcpu)) {
+          report("runqueue: " + describe(v) + " running on pcpu " +
+                 std::to_string(p.id) + " is retargeted to invalid pcpu " +
+                 std::to_string(v.pcpu));
+        }
+      }
+    }
+  }
+  for (const hv::Vcpu* v : hv_->all_vcpus()) {
+    const int n = [&] {
+      auto it = queued.find(v);
+      return it == queued.end() ? 0 : it->second;
+    }();
+    if (n > 1) {
+      report("runqueue: " + describe(*v) + " appears on " + std::to_string(n) +
+             " run queues");
+    }
+    switch (v->state) {
+      case hv::VcpuState::kRunnable:
+        if (n != 1) {
+          report("runqueue: " + describe(*v) + " is Runnable but on " +
+                 std::to_string(n) + " run queues");
+        }
+        break;
+      case hv::VcpuState::kRunning: {
+        if (running_on.find(v) == running_on.end()) {
+          report("runqueue: " + describe(*v) +
+                 " is Running but is not current on any pcpu");
+        }
+        if (n != 0) {
+          report("runqueue: " + describe(*v) + " is Running but also queued");
+        }
+        break;
+      }
+      case hv::VcpuState::kBlocked:
+      case hv::VcpuState::kDone:
+        if (n != 0) {
+          report("runqueue: " + describe(*v) + " is " + to_string(v->state) +
+                 " but sits on a run queue");
+        }
+        if (v->in_runqueue) {
+          report("runqueue: " + describe(*v) + " is " + to_string(v->state) +
+                 " but in_runqueue is true");
+        }
+        break;
+    }
+  }
+}
+
+void InvariantChecker::check_credit_legality() {
+  if (dynamic_cast<const hv::CreditScheduler*>(&hv_->scheduler()) == nullptr) {
+    return;  // non-credit scheduler (e.g. a test FIFO) — nothing to validate
+  }
+  for (const hv::Vcpu* v : hv_->all_vcpus()) {
+    if (!v->active()) continue;
+    // UNDER/BOOST mean credits >= 0, OVER means credits < 0.  BOOST can
+    // coexist with any non-negative balance (wake boost), so only flag the
+    // sign contradictions.
+    if (v->priority == hv::CreditPrio::kOver && v->credits > cfg_.epsilon) {
+      std::ostringstream os;
+      os << "credit: " << describe(*v) << " is OVER with " << v->credits
+         << " credits (should be UNDER)";
+      report(os.str());
+    }
+    if (v->priority != hv::CreditPrio::kOver && v->credits < -cfg_.epsilon) {
+      std::ostringstream os;
+      os << "credit: " << describe(*v) << " is " << to_string(v->priority)
+         << " with " << v->credits << " credits (should be OVER)";
+      report(os.str());
+    }
+  }
+}
+
+void InvariantChecker::check_memory() {
+  numa::MemoryManager& mm = hv_->memory_manager();
+  const int nodes = mm.num_nodes();
+  std::vector<std::int64_t> census(static_cast<std::size_t>(nodes), 0);
+  bool all_eager = true;
+  for (const auto& dom : hv_->domains()) {
+    const numa::VmMemory& vm = dom->memory();
+    if (vm.policy() == numa::PlacementPolicy::kFirstTouch) all_eager = false;
+    const auto vm_census = vm.node_census();
+    for (int n = 0; n < nodes && n < static_cast<int>(vm_census.size()); ++n) {
+      census[static_cast<std::size_t>(n)] += vm_census[static_cast<std::size_t>(n)];
+    }
+  }
+  for (int n = 0; n < nodes; ++n) {
+    const std::int64_t used = mm.used_chunks(n);
+    const std::int64_t free = mm.free_chunks(n);
+    if (free < 0 || used < 0 || free > mm.capacity_chunks(n)) {
+      std::ostringstream os;
+      os << "memory: node " << n << " pool corrupt (free " << free << ", used "
+         << used << ", capacity " << mm.capacity_chunks(n)
+         << ") — leak or double-free";
+      report(os.str());
+    }
+    // First-touch chunks have no home until touched, so the domain census
+    // can undercount the pool; for all-eager placements they must agree.
+    const std::int64_t homed = census[static_cast<std::size_t>(n)];
+    if (all_eager ? homed != used : homed > used) {
+      std::ostringstream os;
+      os << "memory: node " << n << " has " << used
+         << " chunks reserved but domains home " << homed << " there";
+      report(os.str());
+    }
+  }
+}
+
+// -- ScopedCheck --------------------------------------------------------------
+
+ScopedCheck::ScopedCheck(hv::Hypervisor& hv, bool enabled) {
+  if (!enabled) return;
+  checker_ = std::make_unique<InvariantChecker>();
+  checker_->attach(hv);
+}
+
+ScopedCheck::~ScopedCheck() {
+  if (checker_) checker_->detach();
+}
+
+void ScopedCheck::expect_ok() {
+  if (!checker_) return;
+  checker_->check_now();  // final sweep, even without VPROBE_CHECKS hooks
+  checker_->expect_ok();
+}
+
+}  // namespace vprobe::check

@@ -1,0 +1,134 @@
+// Runtime invariant checker for the hypervisor simulation.
+//
+// The paper's claims rest on the simulator conserving physical quantities
+// (instructions, memory chunks) and on the Credit-family schedulers obeying
+// Xen's accounting rules; a silent regression in hv/ or numa/ would flow
+// straight into every figure.  This subsystem validates those properties
+// continuously while a simulation runs:
+//
+//  * engine:   event timestamps never decrease; equal-time events fire in
+//              FIFO sequence order (the engine's determinism contract);
+//  * hv/credit: credits stay inside [floor, cap], priority matches the
+//              UNDER/OVER sign rule, the accounting pass only grants (never
+//              debits) and never grants more than the machine's credit
+//              budget per pass;
+//  * run queues: every VCPU is running on exactly one PCPU, queued on
+//              exactly one run queue, or blocked — never duplicated, never
+//              queued in a state other than Runnable, never on a PCPU its
+//              affinity mask forbids;
+//  * memory:   per-node used/free chunk counts stay non-negative and match
+//              the sum of every domain's placement census (catches leaks
+//              and double-frees that NDEBUG builds would let through).
+//
+// The checker attaches to one Hypervisor as its engine observer and
+// HvObserver; hook call sites exist only when the build defines
+// VPROBE_CHECKS (the default preset), so a Release build without the macro
+// pays nothing.  Violations are recorded, not thrown, so a test can run a
+// deliberately broken scheduler and assert the checker fired; expect_ok()
+// escalates to an exception for production runs (--checks).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hv/observer.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace vprobe::hv {
+class Hypervisor;
+struct Pcpu;
+}  // namespace vprobe::hv
+
+namespace vprobe::check {
+
+/// One detected invariant violation.
+struct Violation {
+  std::string what;  ///< human-readable description
+  sim::Time when;    ///< simulated time it was detected
+};
+
+class InvariantChecker final : public sim::Engine::Observer,
+                               public hv::HvObserver {
+ public:
+  struct Config {
+    bool credits = true;     ///< credit bounds / legality / conservation
+    bool runqueues = true;   ///< run-queue consistency sweep
+    bool memory = true;      ///< chunk conservation sweep
+    bool event_time = true;  ///< engine timestamp monotonicity
+    /// Stop recording (but keep counting) after this many violations.
+    std::size_t max_violations = 64;
+    /// Slack for floating-point credit comparisons.
+    double epsilon = 1e-6;
+  };
+
+  InvariantChecker() = default;
+  explicit InvariantChecker(Config cfg) : cfg_(cfg) {}
+  ~InvariantChecker() override;
+
+  /// Register as `hv`'s engine observer and hypervisor observer.  The
+  /// checker must outlive the hypervisor or detach() first; declare it
+  /// before the hypervisor (or call detach()) in owning scopes.
+  void attach(hv::Hypervisor& hv);
+  void detach();
+
+  /// One-shot full sweep (run queues, credits, memory) of the attached
+  /// hypervisor — usable even in builds without VPROBE_CHECKS hooks.
+  void check_now();
+
+  bool ok() const { return total_violations_ == 0; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t total_violations() const { return total_violations_; }
+  std::uint64_t checks_run() const { return checks_run_; }
+  std::uint64_t events_seen() const { return events_seen_; }
+  void clear();
+
+  /// Throw std::runtime_error describing the first violations, if any.
+  void expect_ok() const;
+
+  // -- sim::Engine::Observer --------------------------------------------------
+  void on_event(sim::Time when, std::uint64_t seq) override;
+
+  // -- hv::HvObserver ---------------------------------------------------------
+  void after_tick(hv::Hypervisor& hv, hv::Pcpu& pcpu) override;
+  void before_accounting(hv::Hypervisor& hv) override;
+  void after_accounting(hv::Hypervisor& hv) override;
+
+ private:
+  void check_runqueues();
+  void check_credit_legality();
+  void check_memory();
+  void report(std::string what);
+
+  Config cfg_{};
+  hv::Hypervisor* hv_ = nullptr;
+  bool have_last_event_ = false;
+  sim::Time last_event_time_ = sim::Time::zero();
+  std::uint64_t last_event_seq_ = 0;
+  std::vector<double> credits_before_;
+  std::vector<Violation> violations_;
+  std::uint64_t total_violations_ = 0;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t events_seen_ = 0;
+};
+
+/// RAII wrapper for run-integrated checking (RunConfig::checks): attaches a
+/// checker when `enabled`, detaches on destruction.  expect_ok() runs a
+/// final full sweep and throws on any violation; inert when disabled.
+class ScopedCheck {
+ public:
+  ScopedCheck(hv::Hypervisor& hv, bool enabled);
+  ~ScopedCheck();
+  ScopedCheck(const ScopedCheck&) = delete;
+  ScopedCheck& operator=(const ScopedCheck&) = delete;
+
+  void expect_ok();
+  InvariantChecker* checker() { return checker_.get(); }
+
+ private:
+  std::unique_ptr<InvariantChecker> checker_;
+};
+
+}  // namespace vprobe::check

@@ -90,6 +90,9 @@ void Hypervisor::start() {
 
 void Hypervisor::on_tick(Pcpu& p) {
   scheduler_->tick(p);
+#if defined(VPROBE_CHECKS)
+  if (observer_ != nullptr) observer_->after_tick(*this, p);
+#endif
   if (p.busy()) {
     // Preempt when a queued VCPU now outranks the running one (e.g. the
     // running VCPU just went OVER, or a BOOST is waiting).
@@ -103,7 +106,15 @@ void Hypervisor::on_tick(Pcpu& p) {
   }
 }
 
-void Hypervisor::on_accounting() { scheduler_->accounting(); }
+void Hypervisor::on_accounting() {
+#if defined(VPROBE_CHECKS)
+  if (observer_ != nullptr) observer_->before_accounting(*this);
+#endif
+  scheduler_->accounting();
+#if defined(VPROBE_CHECKS)
+  if (observer_ != nullptr) observer_->after_accounting(*this);
+#endif
+}
 
 void Hypervisor::wake(Vcpu& vcpu) {
   if (vcpu.state != VcpuState::kBlocked) return;

@@ -23,6 +23,7 @@
 
 #include "hv/domain.hpp"
 #include "hv/memory_map.hpp"
+#include "hv/observer.hpp"
 #include "hv/overhead.hpp"
 #include "hv/pcpu.hpp"
 #include "hv/scheduler.hpp"
@@ -127,6 +128,12 @@ class Hypervisor {
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
   trace::Tracer* tracer() { return tracer_; }
 
+  /// Attach an invariant-checking observer (nullptr detaches).  Non-owning;
+  /// the observer must outlive the hypervisor or be detached first.  The
+  /// hook call sites only exist when the build defines VPROBE_CHECKS.
+  void set_observer(HvObserver* observer) { observer_ = observer; }
+  HvObserver* observer() { return observer_; }
+
   /// Emit a trace record when a tracer is attached (cheap no-op otherwise).
   void emit(trace::EventKind kind, std::int32_t vcpu, std::int32_t pcpu,
             std::int32_t aux = 0) {
@@ -167,6 +174,7 @@ class Hypervisor {
   OverheadLedger ledger_;
   MemoryMap memory_map_;
   trace::Tracer* tracer_ = nullptr;
+  HvObserver* observer_ = nullptr;
   sim::EventHandle tick_timer_;
   sim::EventHandle accounting_timer_;
   int next_domain_id_ = 1;

@@ -1,0 +1,28 @@
+// Hook interface the hypervisor drives for cross-cutting observers — today
+// the runtime invariant checker (src/check).  The hooks fire at the two
+// accounting granularities the checker validates: after every scheduler
+// tick and around every accounting pass.  Call sites are compiled in only
+// when the build defines VPROBE_CHECKS, so a Release build without it pays
+// nothing; with it, an unattached observer costs one predictable branch.
+#pragma once
+
+namespace vprobe::hv {
+
+class Hypervisor;
+struct Pcpu;
+
+class HvObserver {
+ public:
+  virtual ~HvObserver() = default;
+
+  /// The scheduler's periodic tick on `pcpu` just ran (credits burned,
+  /// BOOST demoted) — per-PCPU state is consistent and checkable.
+  virtual void after_tick(Hypervisor& hv, Pcpu& pcpu) = 0;
+
+  /// The global accounting pass is about to run / just ran.  The pair lets
+  /// an observer snapshot credits before and validate the deltas after.
+  virtual void before_accounting(Hypervisor& hv) = 0;
+  virtual void after_accounting(Hypervisor& hv) = 0;
+};
+
+}  // namespace vprobe::hv

@@ -85,6 +85,7 @@ BenchFlags parse_bench_flags(const Cli& cli, double default_scale) {
   flags.config.repeats = cli.get_int("repeats", 3);
   flags.config.sampling_period = sim::Time::seconds(cli.get_double("period", 1.0));
   flags.jobs = cli.get_int("jobs", 1);
+  flags.config.checks = cli.has("checks");
   if (cli.has("json")) {
     const std::string path = cli.get("json", "-");
     flags.json_path = (path == "1") ? "-" : path;
@@ -120,6 +121,8 @@ bool maybe_print_help(const Cli& cli, const char* summary, const char* extra) {
       "                   vcpu_p, lb, brm, autonuma\n"
       "  --period S       scheduler sampling period in seconds (default 1.0)\n"
       "  --json PATH      also write results as JSON lines to PATH (- = stdout)\n"
+      "  --checks         run the invariant checker on every simulation and\n"
+      "                   abort on any violation (VPROBE_CHECKS builds)\n"
       "  --help           this text\n");
   if (extra != nullptr && *extra != '\0') {
     std::printf("\n%s\n", extra);

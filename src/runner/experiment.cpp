@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "workload/hungry.hpp"
 #include "workload/memcached.hpp"
 #include "workload/npb.hpp"
@@ -77,6 +78,7 @@ std::unique_ptr<wl::GuestOsTicks> guest_ticks(hv::Hypervisor& hv,
 
 stats::RunMetrics run_spec_single(const RunConfig& config, std::string_view app) {
   auto hv = make_hypervisor(config.sched, config.seed, scheduler_options(config));
+  check::ScopedCheck check(*hv, config.checks);
   StandardVms vms = create_standard_vms(*hv, vm_sizes(config));
 
   auto make_instances = [&](hv::Domain& dom, int count,
@@ -129,6 +131,7 @@ stats::RunMetrics run_spec_single(const RunConfig& config, std::string_view app)
                            [](const auto& a) { return a->finished(); });
       },
       config.horizon);
+  check.expect_ok();
 
   stats::RunMetrics m;
   m.scheduler = to_string(config.sched);
@@ -144,6 +147,7 @@ stats::RunMetrics run_spec_single(const RunConfig& config, std::string_view app)
 
 stats::RunMetrics run_npb_single(const RunConfig& config, std::string_view app) {
   auto hv = make_hypervisor(config.sched, config.seed, scheduler_options(config));
+  check::ScopedCheck check(*hv, config.checks);
   StandardVms vms = create_standard_vms(*hv, vm_sizes(config));
 
   wl::NpbApp::Config ncfg;
@@ -166,6 +170,7 @@ stats::RunMetrics run_npb_single(const RunConfig& config, std::string_view app) 
   hv->engine().schedule(sim::Time::ms(20), [&app2] { app2.start(); });
 
   const bool done = run_until(*hv, [&] { return app1.finished(); }, config.horizon);
+  check.expect_ok();
 
   stats::RunMetrics m;
   m.scheduler = to_string(config.sched);
@@ -180,6 +185,7 @@ stats::RunMetrics run_npb_single(const RunConfig& config, std::string_view app) 
 stats::RunMetrics run_memcached_single(const RunConfig& config, int concurrency,
                                        std::uint64_t total_ops) {
   auto hv = make_hypervisor(config.sched, config.seed, scheduler_options(config));
+  check::ScopedCheck check(*hv, config.checks);
   StandardVms vms = create_standard_vms(*hv, vm_sizes(config));
 
   auto vm1_vcpus = domain_vcpus(*vms.vm1);
@@ -202,6 +208,7 @@ stats::RunMetrics run_memcached_single(const RunConfig& config, int concurrency,
   hv->engine().schedule(sim::Time::ms(20), [&client2] { client2.start(); });
 
   const bool done = run_until(*hv, [&] { return client1.finished(); }, config.horizon);
+  check.expect_ok();
 
   stats::RunMetrics m;
   m.scheduler = to_string(config.sched);
@@ -221,6 +228,7 @@ stats::RunMetrics run_memcached_single(const RunConfig& config, int concurrency,
 stats::RunMetrics run_redis_single(const RunConfig& config, int connections,
                                    std::uint64_t total_requests) {
   auto hv = make_hypervisor(config.sched, config.seed, scheduler_options(config));
+  check::ScopedCheck check(*hv, config.checks);
   StandardVms vms = create_standard_vms(*hv, vm_sizes(config));
 
   wl::RedisWorkload::Config rcfg;
@@ -241,6 +249,7 @@ stats::RunMetrics run_redis_single(const RunConfig& config, int connections,
   hv->engine().schedule(sim::Time::ms(10), [&redis] { redis.start(); });
 
   const bool done = run_until(*hv, [&] { return redis.finished(); }, config.horizon);
+  check.expect_ok();
 
   stats::RunMetrics m;
   m.scheduler = to_string(config.sched);
@@ -261,6 +270,7 @@ static SoloMetrics run_solo_impl(const RunConfig& config, std::string_view app) 
   // Figure 3 setup: one VM, 4 GB, a single VCPU *pinned* to its memory's
   // node (the paper pins it to the local node).
   auto hv = make_hypervisor(SchedKind::kCredit, config.seed);
+  check::ScopedCheck check(*hv, config.checks);
   hv::Domain& dom = hv->create_domain("VM1", 4 * kGB, 1,
                                       numa::PlacementPolicy::kOnNode, 0);
   dom.vcpu(0).pin_to(0);
@@ -270,6 +280,7 @@ static SoloMetrics run_solo_impl(const RunConfig& config, std::string_view app) 
   instance.start();
   const bool done =
       run_until(*hv, [&] { return instance.finished(); }, config.horizon);
+  check.expect_ok();
   if (!done) throw std::runtime_error("run_solo: app did not finish");
 
   const pmu::CounterSet c = dom.vcpu(0).pmu.cumulative();
@@ -284,6 +295,7 @@ stats::RunMetrics run_overhead_single(const RunConfig& config, int num_vms) {
   RunConfig cfg = config;
   cfg.sched = SchedKind::kVprobe;
   auto hv = make_hypervisor(cfg.sched, cfg.seed, scheduler_options(cfg));
+  check::ScopedCheck check(*hv, cfg.checks);
 
   std::vector<hv::Domain*> doms;
   std::vector<std::unique_ptr<wl::SpecApp>> apps;
@@ -309,6 +321,7 @@ stats::RunMetrics run_overhead_single(const RunConfig& config, int num_vms) {
                            [](const auto& a) { return a->finished(); });
       },
       cfg.horizon);
+  check.expect_ok();
 
   stats::RunMetrics m;
   m.scheduler = to_string(cfg.sched);

@@ -26,6 +26,10 @@ struct RunConfig {
   /// Use Figure 1's VM memory sizes (VM1/VM2 8 GB, VM3 2 GB) instead of the
   /// Section V-A defaults (15/5/1 GB).
   bool fig1_memory_config = false;
+  /// Attach the runtime invariant checker (src/check) to every run and
+  /// throw if any invariant is violated.  Hook-level checking needs a
+  /// VPROBE_CHECKS build; other builds still get the final full sweep.
+  bool checks = false;
 };
 
 /// SPEC CPU2006 workload (Figure 4): VM1 and VM2 run identical instance

@@ -48,6 +48,9 @@ bool Engine::pop_one() {
     queue_.pop();
     if (item.state->cancelled) continue;
     assert(item.when >= now_);
+#if defined(VPROBE_CHECKS)
+    if (observer_ != nullptr) observer_->on_event(item.when, item.seq);
+#endif
     now_ = item.when;
     item.state->fired = true;
     ++executed_;

@@ -45,9 +45,22 @@ class EventHandle {
 /// The simulation engine: a clock plus an ordered event queue.
 class Engine {
  public:
+  /// Invariant-checker hook: notified immediately before each event fires.
+  /// The call site only exists when the build defines VPROBE_CHECKS; an
+  /// attached observer must outlive the engine or be detached first.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual void on_event(Time when, std::uint64_t seq) = 0;
+  };
+
   Engine() { log_.bind_clock(this); }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// Attach an event observer (nullptr detaches).  Non-owning.
+  void set_observer(Observer* observer) { observer_ = observer; }
+  Observer* observer() const { return observer_; }
 
   /// Current simulated time.
   Time now() const { return now_; }
@@ -102,6 +115,7 @@ class Engine {
   bool pop_one();  // fire the earliest event; false if queue empty
 
   LogContext log_;
+  Observer* observer_ = nullptr;
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,0 +1,36 @@
+#include "trace/digest.hpp"
+
+#include <cstdio>
+
+namespace vprobe::trace {
+
+void TraceDigest::mix(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (8 * i)) & 0xffu;
+    hash_ *= kPrime;
+  }
+}
+
+void TraceDigest::add(const Record& r) {
+  mix(static_cast<std::uint64_t>(r.when.nanos()));
+  mix(static_cast<std::uint64_t>(r.kind));
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.vcpu)));
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.pcpu)));
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.aux)));
+  ++records_;
+}
+
+std::uint64_t digest_records(std::span<const Record> records) {
+  TraceDigest d;
+  for (const Record& r : records) d.add(r);
+  return d.value();
+}
+
+std::string digest_hex(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+}  // namespace vprobe::trace

@@ -1,0 +1,42 @@
+// Stable digest of a trace stream, for golden-trace regression tests.
+//
+// Hashes the integer fields of every Record (time in nanoseconds, kind,
+// vcpu, pcpu, aux) with 64-bit FNV-1a, little-endian, field by field.  The
+// value is a pure function of the record sequence: platform-independent,
+// order-sensitive, and cheap enough to fold a million-event run.  Tests
+// compare it against checked-in goldens so any behavioural drift in the
+// engine, hypervisor, or a scheduler shows up as a one-line diff.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace vprobe::trace {
+
+class TraceDigest {
+ public:
+  void add(const Record& r);
+
+  std::uint64_t value() const { return hash_; }
+  std::uint64_t records() const { return records_; }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 1469598103934665603ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void mix(std::uint64_t v);
+
+  std::uint64_t hash_ = kOffsetBasis;
+  std::uint64_t records_ = 0;
+};
+
+/// Digest of a whole record sequence (e.g. Tracer::snapshot()).
+std::uint64_t digest_records(std::span<const Record> records);
+
+/// 16 lowercase hex digits, zero-padded — the golden-file spelling.
+std::string digest_hex(std::uint64_t value);
+
+}  // namespace vprobe::trace

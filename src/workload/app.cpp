@@ -29,6 +29,15 @@ ComputeThread::ComputeThread(Init init)
 void ComputeThread::bind(hv::Hypervisor& hv, hv::Vcpu& vcpu) {
   hv_ = &hv;
   vcpu_ = &vcpu;
+  // Derive the burst-jitter stream from the run seed (plus stable per-thread
+  // salts) rather than the constructor's region-only fallback: two runs of
+  // the same scenario at different seeds must not share jitter sequences,
+  // and two threads on the same region must not either.  Seeding here keeps
+  // the hypervisor's own rng() stream untouched.
+  burst_rng_.reseed(hv.config().seed ^
+                    (static_cast<std::uint64_t>(region_.first_chunk) *
+                     0x9e3779b97f4a7c15ull) ^
+                    (static_cast<std::uint64_t>(vcpu.id()) * 0xbf58476d1ce4e5b9ull));
   hv.bind_work(vcpu, *this);
   // Publish the regions this thread works on, so page-migration policies
   // can see them (the stand-in for access-bit scanning).

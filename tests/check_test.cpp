@@ -1,0 +1,217 @@
+// Tests for the runtime invariant checker (src/check).
+//
+// Two directions: clean runs across schedulers must produce zero
+// violations, and deliberately injected bugs — a sign-flipped accounting
+// pass, a blocked VCPU smuggled onto a run queue, a corrupted priority, a
+// double-released memory chunk — must each be caught.  The injection tests
+// are the checker's own regression suite: if they stop firing, the checker
+// has gone blind.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "check/invariants.hpp"
+#include "runner/experiment.hpp"
+#include "scenario_helpers.hpp"
+#include "test_helpers.hpp"
+
+namespace vprobe {
+namespace {
+
+using test::FakeWork;
+using test::MiniScenario;
+
+// --------------------------------------------------------- clean runs ----
+
+class CheckCleanRun : public ::testing::TestWithParam<runner::SchedKind> {};
+
+TEST_P(CheckCleanRun, NoViolations) {
+  check::InvariantChecker checker;
+  MiniScenario sc = test::make_mini_scenario(GetParam(), 21);
+  checker.attach(*sc.hv);
+  test::run_mini(sc);
+  checker.expect_ok();  // prints the violations on failure
+  EXPECT_TRUE(checker.ok());
+#if defined(VPROBE_CHECKS)
+  // Hooks compiled in: the checker must actually have observed the run.
+  EXPECT_GT(checker.events_seen(), 0u);
+  EXPECT_GT(checker.checks_run(), 0u);
+#endif
+  checker.check_now();  // final sweep works in any build
+  EXPECT_TRUE(checker.ok());
+}
+
+/// gtest parameter names must be alphanumeric ("VCPU-P" is not).
+std::string sched_test_name(runner::SchedKind kind) {
+  std::string name = to_string(kind);
+  std::erase_if(name, [](char c) { return !std::isalnum(
+      static_cast<unsigned char>(c)); });
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, CheckCleanRun,
+                         ::testing::ValuesIn(runner::all_schedulers().begin(),
+                                             runner::all_schedulers().end()),
+                         [](const auto& info) {
+                           return sched_test_name(info.param);
+                         });
+
+TEST(CheckDetach, DetachStopsObservation) {
+  check::InvariantChecker checker;
+  MiniScenario sc = test::make_mini_scenario(runner::SchedKind::kCredit, 3);
+  checker.attach(*sc.hv);
+  checker.detach();
+  test::run_mini(sc);
+  EXPECT_EQ(checker.events_seen(), 0u);
+  EXPECT_EQ(checker.checks_run(), 0u);
+}
+
+// ---------------------------------------------------- injected bugs ----
+
+#if defined(VPROBE_CHECKS)
+
+/// Credit scheduler whose accounting pass has its sign flipped: it debits
+/// instead of granting and leaves priorities stale.  The conservation hook
+/// must catch both the debit and the resulting UNDER-with-debt VCPUs.
+class SignFlippedCreditScheduler : public hv::CreditScheduler {
+ public:
+  void accounting() override {
+    for (hv::Vcpu* v : hv_->all_vcpus()) {
+      if (!v->active()) continue;
+      v->credits -= 50.0;  // the bug: subtract where Xen grants
+      v->credit_active = false;
+    }
+  }
+};
+
+TEST(CheckInjection, SignFlippedAccountingIsCaught) {
+  hv::Hypervisor::Config cfg;
+  cfg.seed = 5;
+  auto hv = std::make_unique<hv::Hypervisor>(
+      cfg, std::make_unique<SignFlippedCreditScheduler>());
+  check::InvariantChecker checker;
+  checker.attach(*hv);
+
+  hv::Domain& dom = hv->create_domain("VM1", test::kTestGB, 4,
+                                      numa::PlacementPolicy::kFillFirst);
+  std::vector<std::unique_ptr<FakeWork>> works;
+  for (auto* vcpu : test::domain_vcpus(dom)) {
+    works.push_back(std::make_unique<FakeWork>());
+    hv->bind_work(*vcpu, *works.back());
+    hv->wake(*vcpu);
+  }
+  hv->start();
+  hv->engine().run_until(sim::Time::ms(100));  // a few accounting passes
+
+  ASSERT_FALSE(checker.ok());
+  bool mentions_credit = false;
+  for (const auto& v : checker.violations()) {
+    if (v.what.find("credit") != std::string::npos) mentions_credit = true;
+  }
+  EXPECT_TRUE(mentions_credit) << checker.violations().front().what;
+  EXPECT_THROW(checker.expect_ok(), std::runtime_error);
+}
+
+#endif  // VPROBE_CHECKS
+
+TEST(CheckInjection, BlockedVcpuOnRunQueueIsCaught) {
+  auto hv = test::make_credit_hv(7);
+  check::InvariantChecker checker;
+  checker.attach(*hv);
+
+  hv::Domain& dom = hv->create_domain("VM1", test::kTestGB, 2,
+                                      numa::PlacementPolicy::kFillFirst);
+  checker.check_now();
+  ASSERT_TRUE(checker.ok());
+
+  // The bug: enqueue a VCPU that is still Blocked.
+  hv::Vcpu& victim = dom.vcpu(0);
+  victim.pcpu = 0;
+  hv->pcpu(0).queue.insert(victim);
+
+  checker.check_now();
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().what.find("runqueue"),
+            std::string::npos);
+}
+
+TEST(CheckInjection, PriorityCreditSignMismatchIsCaught) {
+  auto hv = test::make_credit_hv(7);
+  check::InvariantChecker checker;
+  checker.attach(*hv);
+
+  hv::Domain& dom = hv->create_domain("VM1", test::kTestGB, 2,
+                                      numa::PlacementPolicy::kFillFirst);
+  // The bug: deep debt while still marked UNDER.
+  dom.vcpu(0).credits = -120.0;
+  dom.vcpu(0).priority = hv::CreditPrio::kUnder;
+
+  checker.check_now();
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().what.find("credit"),
+            std::string::npos);
+}
+
+TEST(CheckInjection, DoubleReleasedChunkIsCaught) {
+  auto hv = test::make_credit_hv(7);
+  check::InvariantChecker checker;
+  checker.attach(*hv);
+
+  hv->create_domain("VM1", test::kTestGB, 2, numa::PlacementPolicy::kFillFirst);
+  checker.check_now();
+  ASSERT_TRUE(checker.ok());
+
+  // The bug: a chunk freed twice — the pool now disagrees with the homes
+  // the domain's VmMemory still records.
+  hv->memory_manager().release_chunk(0);
+
+  checker.check_now();
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().what.find("memory"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ zero overhead ----
+
+TEST(CheckOverhead, CheckerDoesNotPerturbTheSimulation) {
+  // Same scenario, same seed, with and without the checker attached: every
+  // simulated quantity must be bit-identical — the checker only reads.
+  MiniScenario plain = test::make_mini_scenario(runner::SchedKind::kVprobe, 9);
+  test::run_mini(plain);
+
+  check::InvariantChecker checker;
+  MiniScenario checked = test::make_mini_scenario(runner::SchedKind::kVprobe, 9);
+  checker.attach(*checked.hv);
+  test::run_mini(checked);
+  checker.expect_ok();
+
+  EXPECT_EQ(plain.hv->total_busy_time().nanos(),
+            checked.hv->total_busy_time().nanos());
+  EXPECT_EQ(plain.hv->total_migrations(), checked.hv->total_migrations());
+  ASSERT_EQ(plain.works.size(), checked.works.size());
+  for (std::size_t i = 0; i < plain.works.size(); ++i) {
+    EXPECT_EQ(plain.works[i]->executed, checked.works[i]->executed) << i;
+  }
+}
+
+TEST(CheckOverhead, ChecksChargeNothingToTheOverheadLedger) {
+  // Table III's overhead fraction comes from the simulated ledger; the
+  // checker must not appear in it.
+  runner::RunConfig cfg;
+  cfg.seed = 2;
+  cfg.instr_scale = 0.002;
+  cfg.horizon = sim::Time::sec(300);
+
+  stats::RunMetrics plain = runner::run_overhead_single(cfg, 1);
+  cfg.checks = true;
+  stats::RunMetrics checked = runner::run_overhead_single(cfg, 1);
+
+  EXPECT_EQ(plain.overhead_fraction, checked.overhead_fraction);
+  EXPECT_EQ(plain.sim_seconds, checked.sim_seconds);
+  EXPECT_EQ(plain.total_mem_accesses, checked.total_mem_accesses);
+}
+
+}  // namespace
+}  // namespace vprobe

@@ -136,6 +136,111 @@ TEST_F(CreditTest, CreditStealIsNumaOblivious) {
       << "plain Credit should migrate across nodes without hesitation";
 }
 
+TEST_F(CreditTest, TickFlipsUnderToOverExactlyAtZero) {
+  // The UNDER/OVER boundary: a tick burns credits_per_tick; the sign of the
+  // result decides the priority class, with credits == 0 still UNDER.
+  Domain& dom = make_domain(1);
+  Vcpu& v = dom.vcpu(0);
+  auto& sched = static_cast<CreditScheduler&>(hv_->scheduler());
+  const auto& p = sched.params();
+
+  hv_->pcpu(0).current = &v;
+  v.state = VcpuState::kRunning;
+  v.pcpu = 0;
+
+  v.credits = p.credits_per_tick / 2;  // burns through zero
+  v.priority = CreditPrio::kUnder;
+  sched.tick(hv_->pcpu(0));
+  EXPECT_DOUBLE_EQ(v.credits, -p.credits_per_tick / 2);
+  EXPECT_EQ(v.priority, CreditPrio::kOver);
+
+  v.credits = p.credits_per_tick;  // lands exactly on zero: still UNDER
+  v.priority = CreditPrio::kUnder;
+  sched.tick(hv_->pcpu(0));
+  EXPECT_DOUBLE_EQ(v.credits, 0.0);
+  EXPECT_EQ(v.priority, CreditPrio::kUnder);
+
+  hv_->pcpu(0).current = nullptr;  // restore before teardown
+  v.state = VcpuState::kBlocked;
+}
+
+TEST_F(CreditTest, TickClampsDebtAtFloor) {
+  Domain& dom = make_domain(1);
+  Vcpu& v = dom.vcpu(0);
+  auto& sched = static_cast<CreditScheduler&>(hv_->scheduler());
+  const auto& p = sched.params();
+
+  hv_->pcpu(0).current = &v;
+  v.state = VcpuState::kRunning;
+  v.pcpu = 0;
+  v.credits = p.credit_floor + 1.0;  // one more tick would overshoot
+  sched.tick(hv_->pcpu(0));
+  EXPECT_DOUBLE_EQ(v.credits, p.credit_floor);
+  EXPECT_EQ(v.priority, CreditPrio::kOver);
+
+  hv_->pcpu(0).current = nullptr;
+  v.state = VcpuState::kBlocked;
+}
+
+TEST_F(CreditTest, AccountingClampsGrantsAtCap) {
+  // One active VCPU receives the whole machine's credit budget (8 PCPUs ×
+  // 3 ticks × 100 credits = 2400 per pass) but may never exceed the cap.
+  Domain& dom = make_domain(1);
+  Vcpu& v = dom.vcpu(0);
+  auto& sched = static_cast<CreditScheduler&>(hv_->scheduler());
+  const auto& p = sched.params();
+
+  v.credit_active = true;
+  v.credits = p.credit_cap - 10.0;
+  sched.accounting();
+  EXPECT_DOUBLE_EQ(v.credits, p.credit_cap);
+  EXPECT_EQ(v.priority, CreditPrio::kUnder);
+  EXPECT_FALSE(v.credit_active) << "accounting must reset the activity flag";
+}
+
+TEST_F(CreditTest, AccountingRestoresOverVcpuToUnder) {
+  // A deep-in-debt VCPU that is the only active one gets more than enough
+  // share to climb back over the boundary; its priority must follow.
+  Domain& dom = make_domain(1);
+  Vcpu& v = dom.vcpu(0);
+  auto& sched = static_cast<CreditScheduler&>(hv_->scheduler());
+  const auto& p = sched.params();
+
+  v.credits = p.credit_floor;
+  v.priority = CreditPrio::kOver;
+  v.credit_active = true;
+  sched.accounting();
+  EXPECT_GT(v.credits, 0.0);
+  EXPECT_EQ(v.priority, CreditPrio::kUnder);
+}
+
+TEST_F(CreditTest, WorkStealingFillsPcpuThatIdlesMidTick) {
+  // 9 runnable VCPUs on 8 PCPUs: one short-lived VCPU finishes ~2 ms in,
+  // leaving its PCPU idle mid-tick (first tick is at 10 ms).  The freed
+  // PCPU must immediately steal the queued ninth VCPU — by 5 ms every PCPU
+  // is busy again and all eight spinners run simultaneously.
+  Domain& dom = make_domain(8, 0);
+  Domain& dom2 = make_domain(1, 1);
+  for (std::size_t i = 0; i < 8; ++i) spin_forever(dom.vcpu(i));
+  FakeWork& finisher = spin_forever(dom2.vcpu(0));
+  finisher.total_instructions = 4e6;  // ≈2 ms at the calibrated rate
+
+  hv_->start();
+  hv_->wake(dom2.vcpu(0));  // first in line: gets a PCPU, not a queue slot
+  for (std::size_t i = 0; i < 8; ++i) hv_->wake(dom.vcpu(i));
+  hv_->engine().run_until(sim::Time::ms(5));
+
+  ASSERT_TRUE(finisher.finished) << "executed " << finisher.executed;
+  EXPECT_EQ(dom2.vcpu(0).state, VcpuState::kDone);
+  for (auto& p : hv_->pcpus()) {
+    EXPECT_TRUE(p.busy()) << "pcpu " << p.id
+                          << " idle despite queued work after mid-tick finish";
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(dom.vcpu(i).state, VcpuState::kRunning) << i;
+  }
+}
+
 TEST_F(CreditTest, BlockedVcpusDoNotEatCpu) {
   Domain& dom = make_domain(2);
   FakeWork& active = spin_forever(dom.vcpu(0));

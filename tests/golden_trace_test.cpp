@@ -1,0 +1,139 @@
+// Golden-trace snapshot tests.
+//
+// Each scheduler runs the shared mini scenario at a fixed seed with the
+// tracer attached; the digest of the full event stream is compared against
+// tests/golden/traces.txt.  Any behavioural change in the engine, the
+// hypervisor mechanics, or a scheduler's decisions shifts at least one
+// digest — a deliberate change is re-blessed with
+//
+//   VPROBE_UPDATE_GOLDEN=1 ctest -L golden
+//
+// which rewrites the file in the source tree (path baked in at compile
+// time via VPROBE_GOLDEN_DIR).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "runner/scenario.hpp"
+#include "scenario_helpers.hpp"
+#include "trace/digest.hpp"
+#include "trace/tracer.hpp"
+
+namespace vprobe {
+namespace {
+
+constexpr std::uint64_t kGoldenSeed = 7;
+
+std::string golden_path() {
+  return std::string(VPROBE_GOLDEN_DIR) + "/traces.txt";
+}
+
+struct GoldenEntry {
+  std::uint64_t records = 0;
+  std::string digest;
+};
+
+std::map<std::string, GoldenEntry> load_goldens() {
+  std::map<std::string, GoldenEntry> goldens;
+  std::ifstream in(golden_path());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    GoldenEntry entry;
+    if (fields >> key >> entry.records >> entry.digest) goldens[key] = entry;
+  }
+  return goldens;
+}
+
+void save_goldens(const std::map<std::string, GoldenEntry>& goldens) {
+  std::ofstream out(golden_path());
+  out << "# Golden trace digests: <scheduler> <records> <fnv1a-64 hex>\n"
+      << "# Mini scenario (tests/scenario_helpers.hpp), seed " << kGoldenSeed
+      << ", 400 ms.\n"
+      << "# Regenerate: VPROBE_UPDATE_GOLDEN=1 ctest -L golden\n";
+  for (const auto& [key, entry] : goldens) {
+    out << key << ' ' << entry.records << ' ' << entry.digest << '\n';
+  }
+}
+
+bool update_mode() { return std::getenv("VPROBE_UPDATE_GOLDEN") != nullptr; }
+
+/// Scenario-file spelling ("vcpu_p"), stable across display-name changes.
+std::string sched_key(runner::SchedKind kind) {
+  switch (kind) {
+    case runner::SchedKind::kCredit: return "credit";
+    case runner::SchedKind::kVprobe: return "vprobe";
+    case runner::SchedKind::kVcpuP: return "vcpu_p";
+    case runner::SchedKind::kLb: return "lb";
+    case runner::SchedKind::kBrm: return "brm";
+    case runner::SchedKind::kAutoNuma: return "autonuma";
+  }
+  return "?";
+}
+
+GoldenEntry run_and_digest(runner::SchedKind kind) {
+  trace::Tracer tracer(1 << 20);  // must hold the whole run: no drops allowed
+  test::MiniScenario sc = test::make_mini_scenario(kind, kGoldenSeed);
+  sc.hv->set_tracer(&tracer);
+  test::run_mini(sc);
+  sc.hv->set_tracer(nullptr);
+
+  EXPECT_EQ(tracer.dropped(), 0u) << "ring too small — digest would be partial";
+  const auto records = tracer.snapshot();
+  GoldenEntry entry;
+  entry.records = records.size();
+  entry.digest = trace::digest_hex(trace::digest_records(records));
+  return entry;
+}
+
+class GoldenTrace : public ::testing::TestWithParam<runner::SchedKind> {};
+
+TEST_P(GoldenTrace, MatchesCheckedInDigest) {
+  const std::string key = sched_key(GetParam());
+  const GoldenEntry actual = run_and_digest(GetParam());
+  ASSERT_GT(actual.records, 0u);
+
+  auto goldens = load_goldens();
+  if (update_mode()) {
+    goldens[key] = actual;
+    save_goldens(goldens);
+    GTEST_SKIP() << "golden updated: " << key << " = " << actual.digest;
+  }
+
+  ASSERT_TRUE(goldens.count(key))
+      << "no golden for '" << key << "' in " << golden_path()
+      << " — run VPROBE_UPDATE_GOLDEN=1 ctest -L golden";
+  EXPECT_EQ(goldens[key].records, actual.records) << key;
+  EXPECT_EQ(goldens[key].digest, actual.digest)
+      << key << ": trace stream changed. If intentional, regenerate with "
+      << "VPROBE_UPDATE_GOLDEN=1 ctest -L golden";
+}
+
+TEST(GoldenTrace, DigestIsReproducibleWithinProcess) {
+  const GoldenEntry a = run_and_digest(runner::SchedKind::kCredit);
+  const GoldenEntry b = run_and_digest(runner::SchedKind::kCredit);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+std::string sched_test_name(const ::testing::TestParamInfo<runner::SchedKind>& info) {
+  std::string name = sched_key(info.param);
+  for (char& c : name) {
+    if (c == '_') c = 'P';  // gtest names must be alphanumeric
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, GoldenTrace,
+                         ::testing::ValuesIn(runner::all_schedulers().begin(),
+                                             runner::all_schedulers().end()),
+                         sched_test_name);
+
+}  // namespace
+}  // namespace vprobe

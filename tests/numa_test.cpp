@@ -350,6 +350,48 @@ TEST_F(VmMemoryTest, MigrateChunkMovesPhysicalAccounting) {
   EXPECT_FALSE(vm.migrate_chunk(0, 1));
 }
 
+TEST_F(VmMemoryTest, RepeatedMigrateBackAndForthConservesChunks) {
+  // Ping-pong one chunk between nodes 100 times: every step must move
+  // exactly one chunk of accounting and the totals must never drift — a
+  // double-free or leak in migrate_chunk would compound here.
+  VmMemory vm(mm_, cfg_, 1 * kGB, PlacementPolicy::kOnNode, 0);
+  const auto cap0 = mm_.capacity_chunks(0);
+  const auto cap1 = mm_.capacity_chunks(1);
+  const auto total_used = mm_.used_chunks(0) + mm_.used_chunks(1);
+  const auto total_homed = vm.node_census()[0] + vm.node_census()[1];
+
+  for (int round = 0; round < 100; ++round) {
+    const NodeId to = (round % 2 == 0) ? 1 : 0;
+    ASSERT_TRUE(vm.migrate_chunk(0, to)) << "round " << round;
+    EXPECT_EQ(vm.chunk_home(0), to);
+    // Physical pools: conserved in total, consistent per node.
+    EXPECT_EQ(mm_.used_chunks(0) + mm_.used_chunks(1), total_used);
+    EXPECT_EQ(mm_.used_chunks(0) + mm_.free_chunks(0), cap0);
+    EXPECT_EQ(mm_.used_chunks(1) + mm_.free_chunks(1), cap1);
+    // The VM's own census agrees with the pools.
+    const auto census = vm.node_census();
+    EXPECT_EQ(census[0] + census[1], total_homed);
+    EXPECT_EQ(census[0], mm_.used_chunks(0));
+    EXPECT_EQ(census[1], mm_.used_chunks(1));
+  }
+}
+
+TEST_F(VmMemoryTest, MigrateToFullNodeFailsWithoutSideEffects) {
+  VmMemory vm(mm_, cfg_, 1 * kGB, PlacementPolicy::kOnNode, 0);
+  // Fill node 1 completely with a second VM.
+  VmMemory hog(mm_, cfg_, cfg_.chunks_per_node() * cfg_.chunk_bytes,
+               PlacementPolicy::kOnNode, 1);
+  ASSERT_EQ(mm_.free_chunks(1), 0);
+
+  const auto used0 = mm_.used_chunks(0);
+  const auto census_before = vm.node_census();
+  EXPECT_FALSE(vm.migrate_chunk(0, 1));
+  EXPECT_EQ(vm.chunk_home(0), 0);
+  EXPECT_EQ(mm_.used_chunks(0), used0);
+  EXPECT_EQ(mm_.free_chunks(1), 0);
+  EXPECT_EQ(vm.node_census(), census_before);
+}
+
 TEST_F(VmMemoryTest, DestructorReleasesMemory) {
   const auto free_before = mm_.free_chunks(0);
   {

@@ -61,6 +61,29 @@ TEST(ParallelExecutor, SerialAndParallelRunsAreBitIdentical) {
   }
 }
 
+TEST(ParallelExecutor, AllSchedulersStayBitIdenticalAcrossJobCounts) {
+  // The differential suite's precondition: for every scheduler, running
+  // with --jobs N must reproduce --jobs 1 bit for bit, including the
+  // two-seed repeat fold.  A scheduler that read shared mutable state (a
+  // global RNG, a static cache) would diverge here under thread
+  // interleaving.
+  RunConfig cfg = tiny_config();
+  cfg.repeats = 2;
+  RunPlan plan;
+  plan.add_sweep(all_schedulers(), RunSpec::spec(cfg, "soplex"));
+  ASSERT_EQ(plan.size(), all_schedulers().size());
+
+  const auto serial = ParallelExecutor(ExecutorOptions{1}).run(plan);
+  const auto parallel = ParallelExecutor(ExecutorOptions{4}).run(plan);
+  ASSERT_EQ(serial.size(), plan.size());
+  ASSERT_EQ(parallel.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].error;
+    ASSERT_TRUE(parallel[i].ok()) << parallel[i].error;
+    expect_identical(serial[i].metrics, parallel[i].metrics);
+  }
+}
+
 TEST(ParallelExecutor, ThrowingJobDoesNotPoisonSiblings) {
   RunConfig cfg = tiny_config();
   cfg.repeats = 1;

@@ -7,6 +7,7 @@
 #include "runner/scenario.hpp"
 #include "test_helpers.hpp"
 #include "trace/analysis.hpp"
+#include "trace/digest.hpp"
 #include "trace/tracer.hpp"
 #include "workload/spec.hpp"
 
@@ -57,6 +58,61 @@ TEST(TracerTest, ClearResets) {
 
 TEST(TracerTest, ZeroCapacityRejected) {
   EXPECT_THROW(Tracer(0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Digest ----
+
+TEST(TraceDigest, EmptyStreamIsOffsetBasis) {
+  TraceDigest d;
+  EXPECT_EQ(d.value(), 1469598103934665603ull);  // FNV-1a 64 offset basis
+  EXPECT_EQ(d.records(), 0u);
+}
+
+TEST(TraceDigest, KnownSequenceHasFixedValue) {
+  // Pins the digest definition itself: if the mixing recipe changes, every
+  // checked-in golden silently invalidates — this fails first, loudly.
+  TraceDigest d;
+  d.add(Record{sim::Time::ms(1), EventKind::kWake, 3, 0, 0});
+  d.add(Record{sim::Time::ms(2), EventKind::kSwitchIn, 3, 0, 0});
+  EXPECT_EQ(d.records(), 2u);
+  EXPECT_EQ(digest_hex(d.value()), "5b13821c199c72ae");
+}
+
+TEST(TraceDigest, SensitiveToEveryField) {
+  const Record base{sim::Time::ms(1), EventKind::kWake, 3, 0, 0};
+  const std::uint64_t ref = digest_records({&base, 1});
+
+  Record r = base;
+  r.when = sim::Time::ms(2);
+  EXPECT_NE(digest_records({&r, 1}), ref);
+  r = base;
+  r.kind = EventKind::kBlock;
+  EXPECT_NE(digest_records({&r, 1}), ref);
+  r = base;
+  r.vcpu = 4;
+  EXPECT_NE(digest_records({&r, 1}), ref);
+  r = base;
+  r.pcpu = 1;
+  EXPECT_NE(digest_records({&r, 1}), ref);
+  r = base;
+  r.aux = 1;
+  EXPECT_NE(digest_records({&r, 1}), ref);
+}
+
+TEST(TraceDigest, SensitiveToOrder) {
+  const Record a{sim::Time::ms(1), EventKind::kWake, 3, 0, 0};
+  const Record b{sim::Time::ms(2), EventKind::kBlock, 4, 1, 0};
+  TraceDigest ab, ba;
+  ab.add(a);
+  ab.add(b);
+  ba.add(b);
+  ba.add(a);
+  EXPECT_NE(ab.value(), ba.value());
+}
+
+TEST(TraceDigest, HexIsSixteenLowercaseDigits) {
+  EXPECT_EQ(digest_hex(0), "0000000000000000");
+  EXPECT_EQ(digest_hex(0xABCDEF0123456789ull), "abcdef0123456789");
 }
 
 TEST(TracerTest, EventNames) {
