@@ -11,9 +11,13 @@ cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
-echo "== labelled suites (golden, differential) =="
+echo "== labelled suites (golden, differential, engine) =="
 ctest --test-dir build -L golden --output-on-failure
 ctest --test-dir build -L differential --output-on-failure
+ctest --test-dir build -L engine --output-on-failure
+
+echo "== engine hot-path smoke (zero steady-state allocations gate) =="
+./build/bench/engine_bench --smoke
 
 echo "== tsan preset: parallel-executor tests under ThreadSanitizer =="
 cmake --preset tsan

@@ -74,15 +74,20 @@ void Hypervisor::start() {
   // periodic timers.  The stagger matters: synchronized ticks would flip
   // every VCPU's credit priority in lockstep and the fairness steal
   // (UNDER work pulled toward OVER heads) would never find asymmetry.
+  tick_timers_.reserve(pcpus_.size());
   for (auto& p : pcpus_) {
     Pcpu* pp = &p;
     const sim::Time phase =
         (config_.tick_period * pp->id) / static_cast<std::int64_t>(pcpus_.size());
-    engine_.schedule(phase, [this, pp] {
-      on_tick(*pp);
-      tick_timer_ = engine_.schedule_periodic(config_.tick_period,
-                                              [this, pp] { on_tick(*pp); });
-    });
+    // First-class periodic timer with an explicit first firing: the engine
+    // re-arms the same event slot in place, so a tick costs no allocation
+    // and no bootstrap wrapper event.  The re-arm draws its sequence number
+    // right after on_tick() returns — the same position in the sequence
+    // stream as the old schedule-then-rearm chain, keeping golden traces
+    // bit-identical.
+    tick_timers_.push_back(engine_.schedule_periodic_at(
+        engine_.now() + phase, config_.tick_period,
+        [this, pp] { on_tick(*pp); }));
   }
   accounting_timer_ =
       engine_.schedule_periodic(config_.accounting_period, [this] { on_accounting(); });

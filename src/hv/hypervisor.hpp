@@ -175,7 +175,7 @@ class Hypervisor {
   MemoryMap memory_map_;
   trace::Tracer* tracer_ = nullptr;
   HvObserver* observer_ = nullptr;
-  sim::EventHandle tick_timer_;
+  std::vector<sim::EventHandle> tick_timers_;  ///< one periodic per PCPU
   sim::EventHandle accounting_timer_;
   int next_domain_id_ = 1;
 };

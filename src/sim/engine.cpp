@@ -2,74 +2,162 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace vprobe::sim {
 
 void EventHandle::cancel() {
-  if (state_) state_->cancelled = true;
+  if (engine_ != nullptr) engine_->cancel(slot_, gen_);
 }
 
 bool EventHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
+  return engine_ != nullptr && engine_->is_pending(slot_, gen_);
 }
 
-EventHandle Engine::schedule_at(Time when, std::function<void()> fn) {
-  if (when < now_) {
-    throw std::invalid_argument("Engine::schedule_at: time is in the past");
-  }
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Item{when, next_seq_++, std::move(fn), state});
-  return EventHandle{std::move(state)};
+void Engine::cancel(std::uint32_t idx, std::uint32_t gen) {
+  Slot& s = slot(idx);
+  if (s.gen != gen || s.state == Slot::State::kFree) return;  // stale handle
+  s.cancelled = true;
 }
 
-EventHandle Engine::schedule_periodic(Time period, std::function<void()> fn) {
-  if (period <= Time::zero()) {
-    throw std::invalid_argument("Engine::schedule_periodic: period must be positive");
-  }
-  auto state = std::make_shared<EventHandle::State>();
-  // The chain re-arms itself as long as the shared state is not cancelled.
-  auto arm = std::make_shared<std::function<void(Time)>>();
-  *arm = [this, period, fn = std::move(fn), state, arm](Time when) {
-    queue_.push(Item{when, next_seq_++,
-                     [this, period, fn, state, arm] {
-                       fn();
-                       if (!state->cancelled) (*arm)(now_ + period);
-                     },
-                     state});
-  };
-  (*arm)(now_ + period);
-  return EventHandle{std::move(state)};
+bool Engine::is_pending(std::uint32_t idx, std::uint32_t gen) const {
+  const Slot& s = slot(idx);
+  if (s.gen != gen || s.cancelled) return false;
+  // A one-shot is no longer pending while (or after) its callback runs; a
+  // periodic chain stays pending across firings until cancelled.
+  return s.state == Slot::State::kQueued ||
+         (s.state == Slot::State::kFiring && s.period > Time::zero());
 }
+
+// ------------------------------------------------------------------ slab ----
+
+void Engine::grow_slab() {
+  const auto base = static_cast<std::uint32_t>(chunks_.size()) * kChunkSize;
+  chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  Slot* chunk = chunks_.back().get();
+  // Link low indices at the head so allocation order is deterministic.
+  for (std::uint32_t i = kChunkSize; i-- > 0;) {
+    chunk[i].next_free = free_head_;
+    free_head_ = base + i;
+  }
+}
+
+std::uint32_t Engine::alloc_slot() {
+  if (free_head_ == kNil) grow_slab();
+  const std::uint32_t idx = free_head_;
+  Slot& s = slot(idx);
+  free_head_ = s.next_free;
+  s.state = Slot::State::kQueued;
+  s.cancelled = false;
+  return idx;
+}
+
+void Engine::free_slot(std::uint32_t idx) {
+  Slot& s = slot(idx);
+  s.fn.reset();  // release captured resources now, not at next reuse
+  s.period = Time::zero();
+  ++s.gen;  // invalidate every outstanding handle to this slot
+  s.state = Slot::State::kFree;
+  s.cancelled = false;
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+// ------------------------------------------------------------------ heap ----
+
+// 4-ary implicit heap: half the depth of a binary heap, and the four
+// children of a node sit in at most two cache lines, so the pop-side
+// sift-down — the dominant cost of a large event queue — takes roughly half
+// the cache misses.  Both sifts move the displaced entry through a hole
+// instead of swapping, halving data movement per level.
+
+void Engine::heap_push(HeapEntry e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);  // reserve the spot; overwritten below if e sifts up
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Engine::heap_pop() {
+  assert(!heap_.empty());
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+const Engine::HeapEntry* Engine::live_top() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (!slot(top.slot).cancelled) return &top;
+    const std::uint32_t idx = top.slot;
+    heap_pop();
+    free_slot(idx);
+  }
+  return nullptr;
+}
+
+// --------------------------------------------------------------- running ----
 
 bool Engine::pop_one() {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; we must copy the function out before pop.
-    Item item = queue_.top();
-    queue_.pop();
-    if (item.state->cancelled) continue;
-    assert(item.when >= now_);
+  const HeapEntry* top_ptr = live_top();
+  if (top_ptr == nullptr) return false;
+  const HeapEntry top = *top_ptr;  // heap_pop() invalidates the pointer
+  Slot& s = slot(top.slot);
+  assert(top.when >= now_);
 #if defined(VPROBE_CHECKS)
-    if (observer_ != nullptr) observer_->on_event(item.when, item.seq);
+  if (observer_ != nullptr) observer_->on_event(top.when, top.seq);
 #endif
-    now_ = item.when;
-    item.state->fired = true;
-    ++executed_;
-    item.fn();
-    return true;
+  heap_pop();
+  now_ = top.when;
+  ++executed_;
+  // Run the callback in place: slot addresses are stable, and the kFiring
+  // state keeps the slot out of the free list while its callback executes
+  // (anything the callback schedules — or a re-entrant clear() — therefore
+  // cannot recycle it underneath us).
+  s.state = Slot::State::kFiring;
+  firing_slot_ = top.slot;
+  s.fn();
+  firing_slot_ = kNil;
+  if (s.period > Time::zero() && !s.cancelled) {
+    // Periodic: re-arm the same slot with a fresh sequence number — drawn
+    // right after the callback returned, exactly where the old trampoline
+    // assigned it (keeps equal-time FIFO order, and so golden traces, intact).
+    s.state = Slot::State::kQueued;
+    heap_push(HeapEntry{now_ + s.period, next_seq_++, top.slot});
+  } else {
+    free_slot(top.slot);
   }
-  return false;
+  return true;
 }
 
 std::size_t Engine::run_until(Time deadline) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    // Skip over cancelled events without advancing the clock.
-    if (queue_.top().state->cancelled) {
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().when > deadline) break;
-    if (pop_one()) ++n;
+  // live_top() already skips (and frees) cancelled entries without
+  // advancing the clock; no separate skip loop needed here.
+  while (const HeapEntry* top = live_top()) {
+    if (top->when > deadline) break;
+    pop_one();
+    ++n;
   }
   if (now_ < deadline) now_ = deadline;
   return n;
@@ -82,7 +170,28 @@ std::size_t Engine::run(std::size_t max_events) {
 }
 
 void Engine::clear() {
-  while (!queue_.empty()) queue_.pop();
+  heap_.clear();  // entries are PODs: no pops, no per-event heap repair
+  // Rebuild the free list from scratch (low indices at the head, matching
+  // grow_slab's deterministic order).  A periodic slot whose callback is
+  // currently executing must not be freed out from under itself: mark it
+  // cancelled and let pop_one() free it when the callback returns.
+  free_head_ = kNil;
+  for (auto idx = static_cast<std::uint32_t>(slab_slots()); idx-- > 0;) {
+    Slot& s = slot(idx);
+    if (idx == firing_slot_) {
+      s.cancelled = true;
+      continue;
+    }
+    if (s.state != Slot::State::kFree) {
+      s.fn.reset();
+      s.period = Time::zero();
+      ++s.gen;
+      s.state = Slot::State::kFree;
+      s.cancelled = false;
+    }
+    s.next_free = free_head_;
+    free_head_ = idx;
+  }
 }
 
 }  // namespace vprobe::sim

@@ -1,0 +1,187 @@
+// Event-queue edge cases and churn stress for the slab/heap engine: heavy
+// cancel-while-queued loads, FIFO order at equal timestamps while the heap
+// array is reshuffled underneath, cancellation from inside callbacks,
+// periodic chains cancelled mid-flight, stale-handle (slot reuse) safety,
+// clear() re-entrancy, and slab recycling staying flat under steady churn.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace vprobe::sim {
+namespace {
+
+TEST(EngineStress, CancelWhileQueuedNeverFiresCancelledEvent) {
+  Engine e;
+  constexpr int kN = 50'000;
+  std::vector<EventHandle> handles;
+  handles.reserve(kN);
+  std::vector<char> fired(kN, 0);
+  std::vector<char> cancelled(kN, 0);
+  Rng rng(99);
+  for (int i = 0; i < kN; ++i) {
+    const Time when = Time::us(rng.uniform_int(0, 1'000'000));
+    handles.push_back(e.schedule_at(when, [&fired, i] { fired[static_cast<std::size_t>(i)] = 1; }));
+  }
+  for (int i = 0; i < kN; ++i) {
+    if (rng.chance(0.33)) {
+      handles[static_cast<std::size_t>(i)].cancel();
+      handles[static_cast<std::size_t>(i)].cancel();  // double-cancel is fine
+      cancelled[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  e.run();
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(fired[static_cast<std::size_t>(i)],
+              cancelled[static_cast<std::size_t>(i)] ? 0 : 1)
+        << "event " << i;
+  }
+  EXPECT_EQ(e.queued(), 0u);
+}
+
+// Thousands of equal-timestamp events must fire in scheduling order even
+// though the heap array is pushed/popped (reshuffled) between the bursts
+// that scheduled them, and slots are recycled in between.
+TEST(EngineStress, FifoAtEqualTimestampsSurvivesHeapChurn) {
+  Engine e;
+  const Time target = Time::sec(10);
+  std::vector<int> order;
+  constexpr int kBursts = 400, kPerBurst = 25;
+  order.reserve(kBursts * kPerBurst);
+  for (int b = 0; b < kBursts; ++b) {
+    e.schedule_at(Time::ms(b), [&e, &order, b, target] {
+      for (int i = 0; i < kPerBurst; ++i) {
+        const int tag = b * kPerBurst + i;
+        e.schedule_at(target, [&order, tag] { order.push_back(tag); });
+      }
+      // Filler churn: fires (and recycles slots) before the next burst.
+      for (int i = 0; i < 10; ++i) e.schedule(Time::us(i), [] {});
+    });
+  }
+  e.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kBursts * kPerBurst));
+  for (int i = 0; i < kBursts * kPerBurst; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i)
+        << "equal-time events out of FIFO order";
+  }
+}
+
+TEST(EngineStress, CancelFromInsideOwnCallback) {
+  Engine e;
+  int runs = 0;
+  EventHandle h;
+  h = e.schedule(Time::ms(1), [&] {
+    ++runs;
+    EXPECT_FALSE(h.pending());  // a one-shot is not pending while running
+    h.cancel();                 // must be a harmless no-op
+  });
+  e.run();
+  EXPECT_EQ(runs, 1);
+  // The slot was recycled; the stale handle must not affect later events.
+  bool second = false;
+  e.schedule(Time::ms(2), [&] { second = true; });
+  h.cancel();
+  e.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(EngineStress, PeriodicCancelMidChainStopsExactly) {
+  for (const int stop_after : {1, 3, 7}) {
+    Engine e;
+    int count = 0;
+    auto h = e.schedule_periodic(Time::ms(10), [&] { ++count; });
+    e.run_until(Time::ms(10) * stop_after);
+    ASSERT_EQ(count, stop_after);
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    e.run_until(Time::sec(1));
+    EXPECT_EQ(count, stop_after) << "chain fired after mid-chain cancel";
+  }
+}
+
+TEST(EngineStress, StaleHandleCannotTouchRecycledSlot) {
+  Engine e;
+  bool first = false, second = false;
+  auto h1 = e.schedule(Time::ms(1), [&] { first = true; });
+  e.run();
+  EXPECT_TRUE(first);
+  // The next event reuses h1's slot (generation bumped).
+  auto h2 = e.schedule(Time::ms(1), [&] { second = true; });
+  EXPECT_FALSE(h1.pending());
+  h1.cancel();  // stale: must not cancel h2's event
+  EXPECT_TRUE(h2.pending());
+  e.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(EngineStress, ClearFromInsideOneShotCallback) {
+  Engine e;
+  bool late = false;
+  e.schedule(Time::ms(1), [&] {
+    e.schedule(Time::ms(2), [&] { late = true; });
+    e.clear();
+  });
+  e.run();
+  EXPECT_FALSE(late);
+  EXPECT_EQ(e.queued(), 0u);
+  bool again = false;  // the engine stays usable after a re-entrant clear
+  e.schedule(Time::ms(5), [&] { again = true; });
+  e.run();
+  EXPECT_TRUE(again);
+}
+
+TEST(EngineStress, ClearFromInsidePeriodicCallback) {
+  Engine e;
+  int count = 0;
+  e.schedule_periodic(Time::ms(1), [&] {
+    ++count;
+    e.clear();  // must not free the slot whose callback is executing
+  });
+  e.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(e.queued(), 0u);
+}
+
+// Steady churn must recycle slots, not grow the slab: a bounded number of
+// in-flight events keeps slab_slots() at its initial plateau no matter how
+// many events pass through.
+TEST(EngineStress, SlabStaysFlatUnderSteadyChurn) {
+  Engine e;
+  auto pump = e.schedule_periodic(Time::us(10), [&e] {
+    e.schedule(Time::us(1), [] {});
+  });
+  e.run_until(Time::ms(500));  // ~100k events through a ~2-slot queue
+  EXPECT_GT(e.executed(), 90'000u);
+  EXPECT_LE(e.slab_slots(), 512u) << "slab grew under steady-state churn";
+  pump.cancel();
+}
+
+// Identical schedule/cancel sequences produce identical fire sequences —
+// the determinism contract the golden traces pin at system level.
+TEST(EngineStress, ChurnIsDeterministic) {
+  const auto run_once = [] {
+    Engine e;
+    Rng rng(7);
+    std::vector<int> trace;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 20'000; ++i) {
+      const Time when = Time::us(rng.uniform_int(0, 50'000));
+      handles.push_back(
+          e.schedule_at(when, [&trace, i] { trace.push_back(i); }));
+      if (i % 3 == 0) {
+        handles[static_cast<std::size_t>(rng.uniform_int(0, i))].cancel();
+      }
+    }
+    e.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace vprobe::sim

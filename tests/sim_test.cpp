@@ -267,9 +267,58 @@ TEST(Engine, PeriodicSelfCancelInsideCallback) {
   EXPECT_EQ(count, 3);
 }
 
+// Regression: the old engine set `fired = true` on the first firing, so a
+// live periodic chain reported pending() == false forever after it.  A
+// periodic handle must stay pending across firings until the chain is
+// cancelled.
+TEST(Engine, PeriodicStaysPendingAcrossFiringsUntilCancelled) {
+  Engine e;
+  int count = 0;
+  auto h = e.schedule_periodic(Time::ms(10), [&] { ++count; });
+  EXPECT_TRUE(h.pending());
+  e.run_until(Time::ms(35));
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(h.pending()) << "live periodic chain must stay pending";
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  e.run_until(Time::ms(200));
+  EXPECT_EQ(count, 3);
+}
+
+// And it is pending even while its own callback runs (the chain is live).
+TEST(Engine, PeriodicPendingInsideOwnCallback) {
+  Engine e;
+  bool inside = false;
+  EventHandle h;
+  h = e.schedule_periodic(Time::ms(10), [&] { inside = h.pending(); });
+  e.run_until(Time::ms(10));
+  EXPECT_TRUE(inside);
+  h.cancel();
+}
+
 TEST(Engine, PeriodicRejectsNonPositivePeriod) {
   Engine e;
   EXPECT_THROW(e.schedule_periodic(Time::zero(), [] {}), std::invalid_argument);
+}
+
+TEST(Engine, PeriodicAtHonoursFirstFiringPhase) {
+  Engine e;
+  std::vector<std::int64_t> fired;
+  auto h = e.schedule_periodic_at(Time::ms(3), Time::ms(10),
+                                  [&] { fired.push_back(e.now().nanos()); });
+  e.run_until(Time::ms(30));
+  EXPECT_EQ(fired, (std::vector<std::int64_t>{Time::ms(3).nanos(),
+                                              Time::ms(13).nanos(),
+                                              Time::ms(23).nanos()}));
+  h.cancel();
+}
+
+TEST(Engine, PeriodicAtRejectsFirstFiringInPast) {
+  Engine e;
+  e.schedule(Time::ms(5), [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_periodic_at(Time::ms(1), Time::ms(10), [] {}),
+               std::invalid_argument);
 }
 
 TEST(Engine, RunHonoursMaxEvents) {
