@@ -45,6 +45,11 @@ void InvariantChecker::clear() {
   checks_run_ = 0;
   events_seen_ = 0;
   have_last_event_ = false;
+  free_before_destroy_.clear();
+  destroy_census_.clear();
+  pending_dead_ids_.clear();
+  dead_vcpus_.clear();
+  dead_vcpu_ids_.clear();
 }
 
 void InvariantChecker::report(std::string what) {
@@ -159,6 +164,71 @@ void InvariantChecker::after_accounting(hv::Hypervisor& hv) {
   check_now();
 }
 
+void InvariantChecker::on_domain_created(hv::Hypervisor& hv, hv::Domain& dom) {
+  if (hv_ != &hv) return;
+  // The allocator may hand a new VCPU the storage address of a retired one;
+  // that address is alive again.  Global ids are monotonic (never reused),
+  // so dead_vcpu_ids_ only grows.
+  for (std::size_t i = 0; i < dom.num_vcpus(); ++i) {
+    dead_vcpus_.erase(reinterpret_cast<std::uintptr_t>(&dom.vcpu(i)));
+  }
+}
+
+void InvariantChecker::before_domain_destroy(hv::Hypervisor& hv,
+                                             hv::Domain& dom) {
+  if (hv_ != &hv || !cfg_.teardown) return;
+  numa::MemoryManager& mm = hv.memory_manager();
+  free_before_destroy_.clear();
+  for (int n = 0; n < mm.num_nodes(); ++n) {
+    free_before_destroy_.push_back(mm.free_chunks(n));
+  }
+  destroy_census_ = dom.memory().node_census();
+  pending_dead_ids_.clear();
+  for (std::size_t i = 0; i < dom.num_vcpus(); ++i) {
+    pending_dead_ids_.push_back(dom.vcpu(i).id());
+    dead_vcpus_.insert(reinterpret_cast<std::uintptr_t>(&dom.vcpu(i)));
+  }
+}
+
+void InvariantChecker::after_domain_destroy(hv::Hypervisor& hv) {
+  if (hv_ != &hv || !cfg_.teardown) return;
+  // Commit the ids only now: destroy_domain itself legitimately emits
+  // kSwitchOut/kRetire events naming the dying VCPUs.
+  for (int id : pending_dead_ids_) dead_vcpu_ids_.insert(id);
+  pending_dead_ids_.clear();
+  numa::MemoryManager& mm = hv.memory_manager();
+  for (int n = 0; n < mm.num_nodes(); ++n) {
+    const auto un = static_cast<std::size_t>(n);
+    const std::int64_t before = un < free_before_destroy_.size()
+                                    ? free_before_destroy_[un]
+                                    : 0;
+    const std::int64_t homed =
+        un < destroy_census_.size() ? destroy_census_[un] : 0;
+    const std::int64_t now_free = mm.free_chunks(n);
+    if (now_free != before + homed) {
+      std::ostringstream os;
+      os << "teardown: node " << n << " freed " << (now_free - before)
+         << " chunks on domain destroy but the domain homed " << homed
+         << " there (freed bytes must return to their origin node)";
+      report(os.str());
+    }
+  }
+  free_before_destroy_.clear();
+  destroy_census_.clear();
+  check_now();
+}
+
+void InvariantChecker::on_trace_event(hv::Hypervisor& hv,
+                                      trace::EventKind kind, int vcpu_id) {
+  if (hv_ != &hv || !cfg_.teardown || vcpu_id < 0) return;
+  if (dead_vcpu_ids_.count(vcpu_id) != 0) {
+    std::ostringstream os;
+    os << "teardown: event " << trace::to_string(kind)
+       << " fired against retired vcpu " << vcpu_id;
+    report(os.str());
+  }
+}
+
 // -- sweeps -------------------------------------------------------------------
 
 void InvariantChecker::check_runqueues() {
@@ -242,6 +312,7 @@ void InvariantChecker::check_runqueues() {
         break;
       }
       case hv::VcpuState::kBlocked:
+      case hv::VcpuState::kPaused:
       case hv::VcpuState::kDone:
         if (n != 0) {
           report("runqueue: " + describe(*v) + " is " + to_string(v->state) +
@@ -252,6 +323,23 @@ void InvariantChecker::check_runqueues() {
                  " but in_runqueue is true");
         }
         break;
+    }
+  }
+  if (cfg_.teardown && !dead_vcpus_.empty()) {
+    // No queue item or current pointer may reference retired storage: the
+    // domain that owned it is gone and the memory freed.
+    for (hv::Pcpu& p : hv_->pcpus()) {
+      for (const hv::Vcpu* v : p.queue.items()) {
+        if (dead_vcpus_.count(reinterpret_cast<std::uintptr_t>(v)) != 0) {
+          report("teardown: pcpu " + std::to_string(p.id) +
+                 "'s run queue holds a retired VCPU");
+        }
+      }
+      if (p.current != nullptr &&
+          dead_vcpus_.count(reinterpret_cast<std::uintptr_t>(p.current)) != 0) {
+        report("teardown: pcpu " + std::to_string(p.id) +
+               " is running a retired VCPU");
+      }
     }
   }
 }

@@ -18,7 +18,10 @@
 //              affinity mask forbids;
 //  * memory:   per-node used/free chunk counts stay non-negative and match
 //              the sum of every domain's placement census (catches leaks
-//              and double-frees that NDEBUG builds would let through).
+//              and double-frees that NDEBUG builds would let through);
+//  * teardown: destroying a domain returns every freed chunk to the node
+//              it was homed on, and no event is ever traced against a VCPU
+//              that has been retired (dynamic-scenario rules).
 //
 // The checker attaches to one Hypervisor as its engine observer and
 // HvObserver; hook call sites exist only when the build defines
@@ -31,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "hv/observer.hpp"
@@ -58,6 +62,7 @@ class InvariantChecker final : public sim::Engine::Observer,
     bool runqueues = true;   ///< run-queue consistency sweep
     bool memory = true;      ///< chunk conservation sweep
     bool event_time = true;  ///< engine timestamp monotonicity
+    bool teardown = true;    ///< domain-destroy conservation + dead-VCPU rules
     /// Stop recording (but keep counting) after this many violations.
     std::size_t max_violations = 64;
     /// Slack for floating-point credit comparisons.
@@ -95,6 +100,11 @@ class InvariantChecker final : public sim::Engine::Observer,
   void after_tick(hv::Hypervisor& hv, hv::Pcpu& pcpu) override;
   void before_accounting(hv::Hypervisor& hv) override;
   void after_accounting(hv::Hypervisor& hv) override;
+  void on_domain_created(hv::Hypervisor& hv, hv::Domain& dom) override;
+  void before_domain_destroy(hv::Hypervisor& hv, hv::Domain& dom) override;
+  void after_domain_destroy(hv::Hypervisor& hv) override;
+  void on_trace_event(hv::Hypervisor& hv, trace::EventKind kind,
+                      int vcpu_id) override;
 
  private:
   void check_runqueues();
@@ -108,6 +118,15 @@ class InvariantChecker final : public sim::Engine::Observer,
   sim::Time last_event_time_ = sim::Time::zero();
   std::uint64_t last_event_seq_ = 0;
   std::vector<double> credits_before_;
+  // Teardown bookkeeping: snapshot of per-node free counts and the dying
+  // domain's census taken in before_domain_destroy, compared after.  Retired
+  // VCPU ids stage through pending_dead_ids_ because destroy_domain itself
+  // legitimately emits kRetire/kSwitchOut events naming them.
+  std::vector<std::int64_t> free_before_destroy_;
+  std::vector<std::int64_t> destroy_census_;
+  std::vector<int> pending_dead_ids_;
+  std::unordered_set<std::uintptr_t> dead_vcpus_;  ///< retired storage addresses
+  std::unordered_set<int> dead_vcpu_ids_;  ///< ids never reused (monotonic)
   std::vector<Violation> violations_;
   std::uint64_t total_violations_ = 0;
   std::uint64_t checks_run_ = 0;

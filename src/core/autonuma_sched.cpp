@@ -19,6 +19,12 @@ void AutoNumaScheduler::vcpu_created(hv::Vcpu& vcpu) {
   sampler_->register_pmu(&vcpu.pmu);
 }
 
+void AutoNumaScheduler::vcpu_retired(hv::Vcpu& vcpu) {
+  // Drop the sampler's raw pointer before the VCPU's storage dies; the
+  // balancing pass re-reads all_vcpus() each period and cannot dangle.
+  sampler_->unregister_pmu(&vcpu.pmu);
+}
+
 void AutoNumaScheduler::on_sampling_period() {
   // Keep the analyzer fields fresh: the page policy keys off vcpu_type and
   // downstream tooling expects them regardless of scheduler.

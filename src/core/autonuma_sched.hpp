@@ -47,6 +47,7 @@ class AutoNumaScheduler : public hv::CreditScheduler {
 
   void attach(hv::Hypervisor& hv) override;
   void vcpu_created(hv::Vcpu& vcpu) override;
+  void vcpu_retired(hv::Vcpu& vcpu) override;
 
   const Options& options() const { return options_; }
   std::uint64_t task_migrations() const { return task_migrations_; }

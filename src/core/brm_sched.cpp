@@ -17,6 +17,12 @@ void BrmScheduler::vcpu_created(hv::Vcpu& vcpu) {
   sampler_->register_pmu(&vcpu.pmu);
 }
 
+void BrmScheduler::vcpu_retired(hv::Vcpu& vcpu) {
+  // Drop the sampler's raw pointer before the VCPU's storage dies; the
+  // trial loop re-reads all_vcpus() each period and cannot dangle.
+  sampler_->unregister_pmu(&vcpu.pmu);
+}
+
 double BrmScheduler::uncore_penalty(const hv::Vcpu& vcpu, numa::NodeId node) {
   const pmu::CounterSet w = vcpu.pmu.window_delta();
   if (w.instr_retired <= 0.0) return 0.0;

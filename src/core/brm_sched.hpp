@@ -46,6 +46,7 @@ class BrmScheduler : public hv::CreditScheduler {
 
   void attach(hv::Hypervisor& hv) override;
   void vcpu_created(hv::Vcpu& vcpu) override;
+  void vcpu_retired(hv::Vcpu& vcpu) override;
   hv::Decision do_schedule(hv::Pcpu& pcpu) override;
 
   const Options& options() const { return options_; }

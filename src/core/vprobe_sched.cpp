@@ -18,6 +18,13 @@ void VprobeScheduler::vcpu_created(hv::Vcpu& vcpu) {
   sampler_->register_pmu(&vcpu.pmu);
 }
 
+void VprobeScheduler::vcpu_retired(hv::Vcpu& vcpu) {
+  // The sampler holds a raw pointer into the dying VCPU; drop it before the
+  // next window roll.  Analyzer/partitioner state is re-derived from
+  // all_vcpus() each period, so nothing else can dangle.
+  sampler_->unregister_pmu(&vcpu.pmu);
+}
+
 hv::Vcpu* VprobeScheduler::steal(hv::Pcpu& thief, int weaker_than) {
   // vProbe replaces Credit's load-balance strategy with Algorithm 2 —
   // local node first, heaviest PCPU first, smallest LLC pressure.  A

@@ -44,6 +44,7 @@ class VprobeScheduler : public hv::CreditScheduler {
 
   void attach(hv::Hypervisor& hv) override;
   void vcpu_created(hv::Vcpu& vcpu) override;
+  void vcpu_retired(hv::Vcpu& vcpu) override;
 
   const Options& options() const { return options_; }
   const PmuDataAnalyzer& analyzer() const { return analyzer_; }

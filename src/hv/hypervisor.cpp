@@ -60,13 +60,170 @@ Domain& Hypervisor::create_domain(const std::string& name,
   const auto boot_base =
       static_cast<int>(rng_.uniform_int(0, topology_.num_pcpus() - 1));
   for (int i = 0; i < num_vcpus; ++i) {
-    Vcpu& v = dom.add_vcpu(static_cast<int>(all_vcpus_.size()));
+    Vcpu& v = dom.add_vcpu(next_vcpu_id_++);
     v.pcpu = static_cast<numa::PcpuId>((boot_base + i) % topology_.num_pcpus());
     all_vcpus_.push_back(&v);
     scheduler_->vcpu_created(v);
   }
   (void)preferred_node;  // only steers the memory placement policy
+#if defined(VPROBE_CHECKS)
+  if (observer_ != nullptr) observer_->on_domain_created(*this, dom);
+#endif
   return dom;
+}
+
+Domain* Hypervisor::find_domain(int domain_id) {
+  for (const auto& d : domains_) {
+    if (d->id() == domain_id) return d.get();
+  }
+  return nullptr;
+}
+
+Pcpu* Hypervisor::host_of(const Vcpu& vcpu) {
+  for (Pcpu& p : pcpus_) {
+    if (p.current == &vcpu) return &p;
+  }
+  return nullptr;
+}
+
+void Hypervisor::retire_vcpu(Vcpu& v) {
+  switch (v.state) {
+    case VcpuState::kRunning: {
+      Pcpu* host = host_of(v);
+      assert(host != nullptr && "Running VCPU with no hosting PCPU");
+      // The partial segment's wall time is accounted (busy_time, PMU,
+      // contention occupancy released), but the guest is being killed
+      // mid-flight: its workload does not advance and any outcome it would
+      // have produced is discarded.
+      settle_segment(*host);
+      host->current = nullptr;
+      emit(trace::EventKind::kSwitchOut, v.id(), host->id, 2);
+      // Refill the PCPU asynchronously: during destroy_domain() the rest of
+      // the domain is still being torn down, and a synchronous reschedule
+      // could hand the PCPU a sibling VCPU this loop retires next.
+      poke(*host);
+      break;
+    }
+    case VcpuState::kRunnable:
+      if (v.in_runqueue) pcpu(v.pcpu).queue.remove(v);
+      break;
+    case VcpuState::kBlocked:
+    case VcpuState::kPaused:
+    case VcpuState::kDone:
+      break;
+  }
+  v.wake_timer.cancel();
+  v.wake_pending = false;
+  v.state = VcpuState::kDone;
+  scheduler_->vcpu_retired(v);
+  memory_map_.unregister_vcpu(v.id());
+  emit(trace::EventKind::kRetire, v.id(), v.pcpu);
+  std::erase(all_vcpus_, &v);
+}
+
+void Hypervisor::destroy_domain(Domain& dom) {
+  const auto it = std::find_if(
+      domains_.begin(), domains_.end(),
+      [&](const std::unique_ptr<Domain>& d) { return d.get() == &dom; });
+  if (it == domains_.end()) {
+    throw std::invalid_argument("destroy_domain: domain not owned by this hypervisor");
+  }
+#if defined(VPROBE_CHECKS)
+  if (observer_ != nullptr) observer_->before_domain_destroy(*this, dom);
+#endif
+  for (std::size_t i = 0; i < dom.num_vcpus(); ++i) retire_vcpu(dom.vcpu(i));
+  emit(trace::EventKind::kDomainDestroy, -1, -1, dom.id());
+  VPROBE_CLOG(engine_.log(), sim::LogLevel::kInfo, "hv", "domain %s destroyed",
+              dom.name().c_str());
+  // Erasing the owning pointer frees the VCPUs and the VmMemory — the
+  // VmMemory destructor releases every homed chunk back to its node pool.
+  domains_.erase(it);
+#if defined(VPROBE_CHECKS)
+  if (observer_ != nullptr) observer_->after_domain_destroy(*this);
+#endif
+}
+
+void Hypervisor::destroy_domain(int domain_id) {
+  Domain* dom = find_domain(domain_id);
+  if (dom == nullptr) {
+    throw std::invalid_argument("destroy_domain: unknown domain id " +
+                                std::to_string(domain_id));
+  }
+  destroy_domain(*dom);
+}
+
+void Hypervisor::pause_vcpu(Vcpu& v) {
+  switch (v.state) {
+    case VcpuState::kRunning: {
+      Pcpu* host = host_of(v);
+      assert(host != nullptr && "Running VCPU with no hosting PCPU");
+      const double instrs = settle_segment(*host);
+      // Unlike retirement, the guest survives: its workload advances over
+      // the settled segment, and the outcome is folded into the paused
+      // state so resume replays it faithfully.
+      Outcome out = v.work()->advance(instrs, engine_.now());
+      host->current = nullptr;
+      emit(trace::EventKind::kSwitchOut, v.id(), host->id, 2);
+      scheduler_->vcpu_sleep(v);
+      switch (out.kind) {
+        case OutcomeKind::kFinished:
+          v.state = VcpuState::kDone;
+          emit(trace::EventKind::kFinish, v.id(), host->id);
+          break;
+        case OutcomeKind::kContinue:
+          v.state = VcpuState::kPaused;
+          v.wake_pending = true;  // it still had work; resume requeues it
+          break;
+        case OutcomeKind::kBlockTimed: {
+          v.state = VcpuState::kPaused;
+          v.wake_pending = false;
+          Vcpu* vp = &v;
+          v.wake_timer = engine_.schedule(out.wake_after, [this, vp] { wake(*vp); });
+          break;
+        }
+        case OutcomeKind::kBlockUntilWake:
+          v.state = VcpuState::kPaused;
+          v.wake_pending = false;
+          break;
+      }
+      poke(*host);
+      break;
+    }
+    case VcpuState::kRunnable:
+      if (v.in_runqueue) pcpu(v.pcpu).queue.remove(v);
+      v.state = VcpuState::kPaused;
+      v.wake_pending = true;  // it was ready to run; resume makes it so again
+      scheduler_->vcpu_sleep(v);
+      break;
+    case VcpuState::kBlocked:
+      v.state = VcpuState::kPaused;
+      v.wake_pending = false;  // a wake arriving later sets it
+      break;
+    case VcpuState::kPaused:
+    case VcpuState::kDone:
+      return;  // nothing to do, and no kPause event either
+  }
+  if (v.state == VcpuState::kPaused) {
+    emit(trace::EventKind::kPause, v.id(), v.pcpu);
+  }
+}
+
+void Hypervisor::resume_vcpu(Vcpu& v) {
+  if (v.state != VcpuState::kPaused) return;
+  v.state = VcpuState::kBlocked;
+  emit(trace::EventKind::kResume, v.id(), v.pcpu);
+  if (v.wake_pending) {
+    v.wake_pending = false;
+    wake(v);
+  }
+}
+
+void Hypervisor::pause_domain(Domain& dom) {
+  for (std::size_t i = 0; i < dom.num_vcpus(); ++i) pause_vcpu(dom.vcpu(i));
+}
+
+void Hypervisor::resume_domain(Domain& dom) {
+  for (std::size_t i = 0; i < dom.num_vcpus(); ++i) resume_vcpu(dom.vcpu(i));
 }
 
 void Hypervisor::start() {
@@ -122,6 +279,12 @@ void Hypervisor::on_accounting() {
 }
 
 void Hypervisor::wake(Vcpu& vcpu) {
+  if (vcpu.state == VcpuState::kPaused) {
+    // Latch the wake (timed wakes keep firing against paused VCPUs, and
+    // guest events don't stop arriving); resume_domain() replays it.
+    vcpu.wake_pending = true;
+    return;
+  }
   if (vcpu.state != VcpuState::kBlocked) return;
   // A VCPU pinned after it last ran must wake inside its mask.
   if (!vcpu.allowed_on(vcpu.pcpu)) {
@@ -232,6 +395,7 @@ void Hypervisor::migrate_to_node(Vcpu& vcpu, numa::NodeId node) {
       break;
     }
     case VcpuState::kBlocked:
+    case VcpuState::kPaused:
     case VcpuState::kDone:
       vcpu.pcpu = target.id;  // it will wake there
       break;
@@ -311,7 +475,7 @@ void Hypervisor::start_segment(Pcpu& p) {
       seg_end, [this, &p] { end_segment(p, /*force_requeue=*/false); });
 }
 
-void Hypervisor::end_segment(Pcpu& p, bool force_requeue) {
+double Hypervisor::settle_segment(Pcpu& p) {
   Vcpu& v = *p.current;
   p.segment_event.cancel();
   const sim::Time now = engine_.now();
@@ -331,8 +495,15 @@ void Hypervisor::end_segment(Pcpu& p, bool force_requeue) {
   p.busy_time += elapsed;
 
   machine_state_.occupant_out(p.node, static_cast<std::uint64_t>(v.id()));
+  return res.instructions;
+}
 
-  Outcome out = v.work()->advance(res.instructions, now);
+void Hypervisor::end_segment(Pcpu& p, bool force_requeue) {
+  Vcpu& v = *p.current;
+  const double instructions = settle_segment(p);
+  const sim::Time now = engine_.now();
+
+  Outcome out = v.work()->advance(instructions, now);
 
   // Same VCPU keeps the CPU: more work, slice not expired, not preempted.
   if (out.kind == OutcomeKind::kContinue && !force_requeue &&
@@ -353,7 +524,7 @@ void Hypervisor::end_segment(Pcpu& p, bool force_requeue) {
       scheduler_->vcpu_sleep(v);
       emit(trace::EventKind::kBlock, v.id(), p.id);
       Vcpu* vp = &v;
-      engine_.schedule(out.wake_after, [this, vp] { wake(*vp); });
+      v.wake_timer = engine_.schedule(out.wake_after, [this, vp] { wake(*vp); });
       break;
     }
     case OutcomeKind::kBlockUntilWake:

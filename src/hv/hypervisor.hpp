@@ -65,6 +65,35 @@ class Hypervisor {
                         int num_vcpus, numa::PlacementPolicy policy,
                         numa::NodeId preferred_node = 0);
 
+  // -- Lifecycle --------------------------------------------------------------
+
+  /// Tear a domain down completely: every VCPU is retired (descheduled,
+  /// dequeued, its pending timed wake cancelled, dropped from samplers and
+  /// the memory map) and the domain's guest memory returns to the node
+  /// pools it came from.  Safe in any VCPU state, including the
+  /// mid-migration transient and while paused.  Invalidates the domain
+  /// reference and all of its Vcpu pointers.
+  void destroy_domain(Domain& dom);
+  /// Id-keyed convenience; throws std::invalid_argument on an unknown id.
+  void destroy_domain(int domain_id);
+
+  /// Administratively pause every VCPU of a domain (Xen's `xl pause`):
+  /// running VCPUs are descheduled (their partial segment is accounted),
+  /// runnable ones leave the run queues.  Wakes arriving while paused —
+  /// including pending timed wakes — are latched and replayed on resume.
+  void pause_domain(Domain& dom);
+  void resume_domain(Domain& dom);
+
+  /// Permanently remove one VCPU (per-VCPU retirement / hot-unplug).  The
+  /// VCPU goes to kDone, leaves all_vcpus() and every run queue, and its
+  /// pending events are cancelled.  destroy_domain() uses this per VCPU.
+  void retire_vcpu(Vcpu& vcpu);
+
+  /// Id-keyed domain lookup; nullptr when the id does not exist (any more).
+  /// Prefer this over domain(i) wherever the domain set can change:
+  /// positional indices shift when a domain is destroyed.
+  Domain* find_domain(int domain_id);
+
   /// Bind a guest thread to a VCPU (non-owning).
   void bind_work(Vcpu& vcpu, VcpuWork& work) { vcpu.bind_work(&work); }
 
@@ -110,6 +139,8 @@ class Hypervisor {
   Pcpu& pcpu(numa::PcpuId id) { return pcpus_.at(static_cast<std::size_t>(id)); }
 
   std::span<const std::unique_ptr<Domain>> domains() const { return domains_; }
+  /// Positional access — indices shift when a domain is destroyed; use
+  /// find_domain(id) in any code that can run across lifecycle changes.
   Domain& domain(std::size_t i) { return *domains_.at(i); }
 
   /// Every VCPU on the machine, in global-id order.
@@ -138,6 +169,9 @@ class Hypervisor {
   void emit(trace::EventKind kind, std::int32_t vcpu, std::int32_t pcpu,
             std::int32_t aux = 0) {
     if (tracer_ != nullptr) tracer_->record(engine_.now(), kind, vcpu, pcpu, aux);
+#if defined(VPROBE_CHECKS)
+    if (observer_ != nullptr) observer_->on_trace_event(*this, kind, vcpu);
+#endif
   }
 
   /// Least-loaded PCPU (by the paper's `workload` counter, then by id) of a
@@ -156,6 +190,17 @@ class Hypervisor {
   void start_running(Pcpu& pcpu, Vcpu& vcpu, sim::Time slice);
   void start_segment(Pcpu& pcpu);
   void end_segment(Pcpu& pcpu, bool force_requeue);
+  /// Shared tail of a segment: cancel the timer, convert elapsed wall time
+  /// into retired instructions/PMU counters, and release contention state.
+  /// Returns the retired instruction count; the caller decides whether the
+  /// workload advances (end_segment, pause) or the burst is discarded
+  /// (retirement kills the guest mid-flight).
+  double settle_segment(Pcpu& pcpu);
+  /// PCPU currently running `vcpu`, found by scanning `current` pointers —
+  /// vcpu.pcpu is unreliable during the migrate_to_node transient.
+  Pcpu* host_of(const Vcpu& vcpu);
+  void pause_vcpu(Vcpu& vcpu);
+  void resume_vcpu(Vcpu& vcpu);
   void tickle_after_wake(Vcpu& vcpu);
   void on_tick(Pcpu& pcpu);
   void on_accounting();
@@ -178,6 +223,10 @@ class Hypervisor {
   std::vector<sim::EventHandle> tick_timers_;  ///< one periodic per PCPU
   sim::EventHandle accounting_timer_;
   int next_domain_id_ = 1;
+  /// Global VCPU ids are never reused: retirement shrinks all_vcpus_, so
+  /// sizing new ids off the vector (the old scheme) would alias a dead
+  /// VCPU's id in traces, the memory map, and contention-occupant keys.
+  int next_vcpu_id_ = 0;
 };
 
 }  // namespace vprobe::hv

@@ -43,6 +43,11 @@ class Scheduler {
   /// `vcpu` blocked or finished (already off the run queues).
   virtual void vcpu_sleep(Vcpu& vcpu) {(void)vcpu;}
 
+  /// `vcpu` is being permanently removed (domain destruction or hot-unplug);
+  /// it is already off the run queues and no longer in all_vcpus().  Drop
+  /// any registered references — sampler PMU registrations in particular.
+  virtual void vcpu_retired(Vcpu& vcpu) {(void)vcpu;}
+
   /// A preempted-or-expired VCPU must go back to a run queue.
   virtual void requeue_preempted(Vcpu& vcpu) = 0;
 

@@ -8,6 +8,7 @@ const char* to_string(VcpuState s) {
     case VcpuState::kRunning:  return "running";
     case VcpuState::kBlocked:  return "blocked";
     case VcpuState::kDone:     return "done";
+    case VcpuState::kPaused:   return "paused";
   }
   return "?";
 }

@@ -15,13 +15,17 @@
 #include "numa/topology.hpp"
 #include "perf/warmth.hpp"
 #include "pmu/vcpu_pmu.hpp"
+#include "sim/engine.hpp"
 #include "sim/time.hpp"
 
 namespace vprobe::hv {
 
 class Domain;
 
-enum class VcpuState { kRunnable, kRunning, kBlocked, kDone };
+/// kPaused is an administrative hold (Hypervisor::pause_domain): the VCPU is
+/// off every run queue and cannot be woken until resumed; wakes that arrive
+/// while paused are latched in `wake_pending`.
+enum class VcpuState { kRunnable, kRunning, kBlocked, kDone, kPaused };
 
 /// Credit-scheduler priority classes, strongest first.
 enum class CreditPrio : int { kBoost = 0, kUnder = 1, kOver = 2 };
@@ -79,6 +83,12 @@ class Vcpu {
   /// credits, and do not dilute their domain's share).  Cleared at each
   /// accounting pass.
   bool credit_active = false;
+  /// A wake arrived while the VCPU was paused; replayed on resume.
+  bool wake_pending = false;
+  /// The pending timed-wake event from a kBlockTimed outcome.  Retirement
+  /// cancels it so no event ever fires against a dead VCPU (generation
+  /// handles make the cancel safe even after the event fired).
+  sim::EventHandle wake_timer;
 
   // -- Measurement ----------------------------------------------------------
   pmu::VcpuPmu pmu;

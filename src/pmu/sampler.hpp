@@ -31,6 +31,12 @@ class Sampler {
     if (started_) vcpu_pmu->begin_window();
   }
 
+  /// Drop a VCPU's counters (domain destruction).  Must be called before
+  /// the counters' storage dies or the next window roll would dangle.
+  void unregister_pmu(VcpuPmu* vcpu_pmu) {
+    std::erase(pmus_, vcpu_pmu);
+  }
+
   /// Begin sampling.  The callback observes each VcpuPmu's window_delta()
   /// for the period that just ended; windows are rolled *after* it returns.
   void start(Callback on_period_end);

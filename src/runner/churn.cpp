@@ -1,0 +1,162 @@
+#include "runner/churn.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "runner/scenario.hpp"
+#include "sim/log.hpp"
+
+namespace vprobe::runner {
+
+ChurnDriver::ChurnDriver(hv::Hypervisor& hv, ChurnOptions options)
+    : hv_(&hv), options_(options), rng_(options.seed ^ 0xc4ceb9fe1a85ec53ull) {
+  options_.min_vcpus = std::max(1, options_.min_vcpus);
+  options_.max_vcpus = std::max(options_.min_vcpus, options_.max_vcpus);
+  options_.min_mem_bytes =
+      std::max(hv.config().machine.chunk_bytes, options_.min_mem_bytes);
+  options_.max_mem_bytes =
+      std::max(options_.min_mem_bytes, options_.max_mem_bytes);
+}
+
+ChurnDriver::~ChurnDriver() {
+  arrival_event_.cancel();
+  for (auto& vm : live_) {
+    vm->depart_event.cancel();
+    vm->pause_event.cancel();
+    vm->resume_event.cancel();
+  }
+}
+
+sim::Time ChurnDriver::exp_delay(sim::Time mean) {
+  const double mean_s = std::max(mean.to_seconds(), 1e-9);
+  return sim::Time::seconds(rng_.exponential(1.0 / mean_s));
+}
+
+void ChurnDriver::start() {
+  arrival_event_ = hv_->engine().schedule(options_.start_after,
+                                          [this] { schedule_next_arrival(); });
+}
+
+void ChurnDriver::schedule_next_arrival() {
+  if (draining_) return;
+  if (options_.max_arrivals > 0 &&
+      arrivals_ + skipped_ >= static_cast<std::uint64_t>(options_.max_arrivals)) {
+    return;
+  }
+  arrival_event_ = hv_->engine().schedule(
+      exp_delay(options_.mean_interarrival), [this] { on_arrival(); });
+}
+
+void ChurnDriver::on_arrival() {
+  schedule_next_arrival();
+  if (static_cast<int>(live_.size()) >= options_.max_live) {
+    ++skipped_;
+    return;
+  }
+
+  const int vcpus = static_cast<int>(
+      rng_.uniform_int(options_.min_vcpus, options_.max_vcpus));
+  const std::int64_t chunk = hv_->config().machine.chunk_bytes;
+  std::int64_t mem = rng_.uniform_int(options_.min_mem_bytes,
+                                      options_.max_mem_bytes);
+  mem = std::max(chunk, (mem / chunk) * chunk);
+
+  // Admission control: an eager placement reserves all chunks up front and
+  // the pools must have room machine-wide (fill-first overflows freely).
+  numa::MemoryManager& mm = hv_->memory_manager();
+  std::int64_t free_chunks = 0;
+  for (int n = 0; n < mm.num_nodes(); ++n) free_chunks += mm.free_chunks(n);
+  if (mem / chunk > free_chunks) {
+    ++skipped_;
+    return;
+  }
+
+  const std::string name = "churn" + std::to_string(next_churn_index_++);
+  hv::Domain& dom = hv_->create_domain(name, mem, vcpus,
+                                       numa::PlacementPolicy::kFillFirst);
+  ++arrivals_;
+
+  auto vm = std::make_unique<LiveVm>();
+  vm->domain_id = dom.id();
+  const auto vcpu_ptrs = domain_vcpus(dom);
+  if (rng_.chance(options_.ticker_fraction)) {
+    vm->ticks = std::make_unique<wl::GuestOsTicks>(
+        *hv_, dom, std::span<hv::Vcpu* const>(vcpu_ptrs));
+    vm->ticks->start();
+  } else {
+    vm->hungry = std::make_unique<wl::HungryLoops>(
+        *hv_, dom, std::span<hv::Vcpu* const>(vcpu_ptrs));
+    vm->hungry->start();
+  }
+
+  const sim::Time lifetime = exp_delay(options_.mean_lifetime);
+  const int id = vm->domain_id;
+  vm->depart_event =
+      hv_->engine().schedule(lifetime, [this, id] { depart(id); });
+  if (rng_.chance(options_.pause_probability)) {
+    // Pause somewhere in the first half of the expected life, so the VM
+    // usually gets to resume before its departure fires.
+    const sim::Time at = sim::Time::seconds(
+        rng_.uniform(0.1, 0.5) * options_.mean_lifetime.to_seconds());
+    vm->pause_event =
+        hv_->engine().schedule(at, [this, id] { pause_vm(id); });
+  }
+  VPROBE_CLOG(hv_->engine().log(), sim::LogLevel::kDebug, "churn",
+              "arrive %s (dom %d, %d vcpus, %lld MiB), live %zu", name.c_str(),
+              id, vcpus, static_cast<long long>(mem >> 20), live_.size() + 1);
+  live_.push_back(std::move(vm));
+}
+
+ChurnDriver::LiveVm* ChurnDriver::find_live(int domain_id) {
+  for (auto& vm : live_) {
+    if (vm->domain_id == domain_id) return vm.get();
+  }
+  return nullptr;
+}
+
+void ChurnDriver::depart(int domain_id) {
+  LiveVm* vm = find_live(domain_id);
+  hv::Domain* dom = hv_->find_domain(domain_id);
+  if (vm == nullptr || dom == nullptr) return;
+  // Clean guest shutdown first (threads retire instead of re-arming), then
+  // the hypervisor-side teardown kills whatever is still blocked/paused.
+  if (vm->hungry) vm->hungry->stop();
+  if (vm->ticks) vm->ticks->stop();
+  vm->pause_event.cancel();
+  vm->resume_event.cancel();
+  hv_->destroy_domain(*dom);
+  ++departures_;
+  VPROBE_CLOG(hv_->engine().log(), sim::LogLevel::kDebug, "churn",
+              "depart dom %d, live %zu", domain_id, live_.size() - 1);
+  live_.erase(std::find_if(live_.begin(), live_.end(),
+                           [&](const auto& p) { return p.get() == vm; }));
+}
+
+void ChurnDriver::pause_vm(int domain_id) {
+  LiveVm* vm = find_live(domain_id);
+  hv::Domain* dom = hv_->find_domain(domain_id);
+  if (vm == nullptr || dom == nullptr || vm->paused) return;
+  hv_->pause_domain(*dom);
+  vm->paused = true;
+  ++pauses_;
+  const int id = domain_id;
+  vm->resume_event = hv_->engine().schedule(exp_delay(options_.mean_pause),
+                                            [this, id] { resume_vm(id); });
+}
+
+void ChurnDriver::resume_vm(int domain_id) {
+  LiveVm* vm = find_live(domain_id);
+  hv::Domain* dom = hv_->find_domain(domain_id);
+  if (vm == nullptr || dom == nullptr || !vm->paused) return;
+  hv_->resume_domain(*dom);
+  vm->paused = false;
+  ++resumes_;
+}
+
+void ChurnDriver::drain() {
+  draining_ = true;
+  arrival_event_.cancel();
+  while (!live_.empty()) depart(live_.back()->domain_id);
+}
+
+}  // namespace vprobe::runner

@@ -135,6 +135,45 @@ ScenarioSpec parse_scenario(std::string_view text) {
         throw err(line_no, "unknown profile '" + app.profile + "'");
       }
       spec.apps.push_back(std::move(app));
+    } else if (head == "churn") {
+      if (spec.churn_enabled) throw err(line_no, "duplicate churn directive");
+      spec.churn_enabled = true;
+      spec.churn.seed = 0;  // 0 = derive from the scenario seed at run time
+      for (const auto& [k, v] : keyvals(words, line_no)) {
+        if (k == "seed") {
+          spec.churn.seed = static_cast<std::uint64_t>(wl::parse_scaled(v));
+        } else if (k == "start") {
+          spec.churn.start_after = sim::Time::seconds(wl::parse_scaled(v));
+        } else if (k == "interarrival") {
+          spec.churn.mean_interarrival = sim::Time::seconds(wl::parse_scaled(v));
+        } else if (k == "lifetime") {
+          spec.churn.mean_lifetime = sim::Time::seconds(wl::parse_scaled(v));
+        } else if (k == "pause_prob") {
+          spec.churn.pause_probability = wl::parse_scaled(v);
+        } else if (k == "pause") {
+          spec.churn.mean_pause = sim::Time::seconds(wl::parse_scaled(v));
+        } else if (k == "max_arrivals") {
+          spec.churn.max_arrivals = static_cast<int>(wl::parse_scaled(v));
+        } else if (k == "max_live") {
+          spec.churn.max_live = static_cast<int>(wl::parse_scaled(v));
+        } else if (k == "vcpus_min") {
+          spec.churn.min_vcpus = static_cast<int>(wl::parse_scaled(v));
+        } else if (k == "vcpus_max") {
+          spec.churn.max_vcpus = static_cast<int>(wl::parse_scaled(v));
+        } else if (k == "mem_min") {
+          spec.churn.min_mem_bytes = static_cast<std::int64_t>(wl::parse_scaled(v));
+        } else if (k == "mem_max") {
+          spec.churn.max_mem_bytes = static_cast<std::int64_t>(wl::parse_scaled(v));
+        } else if (k == "tickers") {
+          spec.churn.ticker_fraction = wl::parse_scaled(v);
+        } else {
+          throw err(line_no, "unknown churn field '" + k + "'");
+        }
+      }
+      if (spec.churn.mean_interarrival <= sim::Time::zero() ||
+          spec.churn.mean_lifetime <= sim::Time::zero()) {
+        throw err(line_no, "churn interarrival/lifetime must be positive");
+      }
     } else {
       throw err(line_no, "unknown directive '" + head + "'");
     }
@@ -240,6 +279,16 @@ stats::RunMetrics run_scenario(const ScenarioSpec& spec) {
   int launch = 0;
   for (auto& start : starters) {
     hv->engine().schedule(sim::Time::ms(10 * launch++), start);
+  }
+
+  // Dynamic background churn, if requested.  Declared after `hv` so its
+  // pending events are cancelled before the hypervisor dies.
+  std::unique_ptr<ChurnDriver> churn;
+  if (spec.churn_enabled) {
+    ChurnOptions copts = spec.churn;
+    if (copts.seed == 0) copts.seed = spec.seed;
+    churn = std::make_unique<ChurnDriver>(*hv, copts);
+    churn->start();
   }
 
   const bool done = run_until(

@@ -15,6 +15,10 @@
 //     app vm=VM1 kind=ticks from=4
 //     app vm=VM3 kind=hungry
 //
+//     # Optional dynamic background: VMs arriving/pausing/departing while
+//     # the measured apps run (seeded; defaults to the scenario seed).
+//     churn interarrival=0.06 lifetime=0.15 pause_prob=0.3 max_live=6
+//
 // App kinds: spec (count instances, one VCPU each, starting at `from`),
 // npb (4-threaded barrier app; `threads=` to change), hungry (one loop per
 // remaining VCPU from `from`), ticks (guest housekeeping on VCPUs from
@@ -26,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "runner/churn.hpp"
 #include "runner/scenario.hpp"
 #include "stats/metrics.hpp"
 
@@ -60,6 +65,11 @@ struct ScenarioSpec {
 
   std::vector<VmSpec> vms;
   std::vector<AppSpec> apps;
+
+  /// Dynamic background churn (see ChurnDriver).  When enabled and
+  /// churn.seed is 0, the driver runs off the scenario seed.
+  bool churn_enabled = false;
+  ChurnOptions churn;
 };
 
 /// Parse the scenario text.  Throws std::invalid_argument with a line

@@ -16,6 +16,12 @@ enum class EventKind : std::uint8_t {
   kMigration,      ///< vcpu changed pcpu (aux = 1 when cross-node)
   kPartition,      ///< partitioner reassigned vcpu to node aux
   kPageMove,       ///< aux chunks migrated for vcpu
+  // Lifecycle events (dynamic scenarios only; static runs never emit them,
+  // so appending here leaves existing golden digests untouched).
+  kPause,          ///< vcpu administratively paused
+  kResume,         ///< vcpu resumed from pause
+  kRetire,         ///< vcpu permanently removed
+  kDomainDestroy,  ///< domain torn down (aux = domain id)
   kCount,
 };
 

@@ -15,6 +15,10 @@ const char* to_string(EventKind kind) {
     case EventKind::kMigration: return "migration";
     case EventKind::kPartition: return "partition";
     case EventKind::kPageMove:  return "page-move";
+    case EventKind::kPause:     return "pause";
+    case EventKind::kResume:    return "resume";
+    case EventKind::kRetire:    return "retire";
+    case EventKind::kDomainDestroy: return "domain-destroy";
     case EventKind::kCount:     break;
   }
   return "?";

@@ -134,6 +134,13 @@ hv::Outcome ComputeThread::advance(double instructions, sim::Time now) {
   executed_ += instructions;
   burst_done_ += instructions;
 
+  // A stopped thread retires on its next stop point without firing the
+  // finish listeners — it is being shut down, not completing.
+  if (stopped_) {
+    finished_ = true;
+    return {hv::OutcomeKind::kFinished};
+  }
+
   // Half-instruction epsilon: executed_ accumulates across many segments
   // and floating-point rounding must not leave a thread one micro-burst
   // short of a barrier its siblings already passed.

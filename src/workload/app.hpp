@@ -62,7 +62,14 @@ class ComputeThread : public hv::VcpuWork {
   double total_instructions() const { return total_; }
   double progress() const { return total_ > 0 ? executed_ / total_ : 0.0; }
   bool finished() const { return finished_; }
+  bool stopped() const { return stopped_; }
   int current_phase() const;
+
+  /// Request a clean shutdown: the thread retires at its next advance()
+  /// without running the finish listeners (it did not complete its work).
+  /// Safe in any state — a blocked or paused thread simply never reports
+  /// kFinished because it never advances again; destroy_domain handles it.
+  void stop() { stopped_ = true; }
 
   /// Invoked once, in registration order, when the thread retires its last
   /// instruction.  Multiple listeners are supported so user code can
@@ -119,6 +126,7 @@ class ComputeThread : public hv::VcpuWork {
   double burst_budget_ = 0.0;  ///< 0 = unbounded
   double burst_done_ = 0.0;
   bool finished_ = false;
+  bool stopped_ = false;
   int cached_phase_ = -1;
   std::uint64_t cached_placement_version_ = ~0ull;
   std::array<double, 8> frac_buf_{};

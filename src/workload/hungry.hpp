@@ -18,6 +18,12 @@ class HungryLoops {
 
   void start();
 
+  /// Clean shutdown before domain destruction: every loop retires at its
+  /// next natural stop point instead of spinning forever.
+  void stop() {
+    for (auto& t : threads_) t->stop();
+  }
+
   int count() const { return static_cast<int>(threads_.size()); }
   ComputeThread& thread(int i) { return *threads_.at(static_cast<std::size_t>(i)); }
 

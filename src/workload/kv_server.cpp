@@ -61,6 +61,7 @@ void RequestServer::kick(int worker) {
   // Only start a batch when the worker is parked: no in-flight batch and its
   // VCPU blocked.  A busy worker picks pending work up at its batch end.
   if (inflight_[w] != 0) return;
+  if (workers_[w]->stopped()) return;  // shutting down: leave it parked
   hv::Vcpu* v = vcpus_[w];
   if (v->state != hv::VcpuState::kBlocked) return;
   if (pending_[w] <= 0) return;

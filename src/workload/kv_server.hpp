@@ -42,6 +42,12 @@ class RequestServer {
   /// Enqueue `n` requests on a specific worker (used by paired clients).
   void submit_to(int worker, int n);
 
+  /// Clean shutdown before domain destruction: workers retire at their next
+  /// batch boundary and ignore further submits (stopped threads never kick).
+  void stop() {
+    for (auto& w : workers_) w->stop();
+  }
+
   /// Fired every time a worker completes a batch.
   std::function<void(int worker, int served, sim::Time now)> on_served;
 

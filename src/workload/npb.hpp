@@ -40,6 +40,14 @@ class NpbApp {
 
   void start();
 
+  /// Clean shutdown before domain destruction.  Running threads retire at
+  /// their next stop point; threads parked at the barrier stay blocked (the
+  /// barrier never releases) and are torn down by destroy_domain.  The app
+  /// does not count as finished().
+  void stop() {
+    for (auto& t : threads_) t->stop();
+  }
+
   const std::string& name() const { return name_; }
   bool finished() const { return finished_threads_ == static_cast<int>(threads_.size()); }
   sim::Time start_time() const { return start_time_; }

@@ -33,6 +33,12 @@ class GuestOsTicks {
 
   void start();
 
+  /// Clean shutdown before domain destruction: each housekeeping thread
+  /// retires at its next tick instead of re-arming its timer.
+  void stop() {
+    for (auto& t : threads_) t->stop();
+  }
+
   int count() const { return static_cast<int>(threads_.size()); }
 
  private:

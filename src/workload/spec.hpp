@@ -23,6 +23,10 @@ class SpecApp {
   /// Wake the VCPU and start executing.
   void start();
 
+  /// Clean shutdown before domain destruction (the instance does not count
+  /// as finished — its finish listeners never run).
+  void stop() { thread_->stop(); }
+
   const std::string& name() const { return thread_->name(); }
   bool finished() const { return thread_->finished(); }
   sim::Time start_time() const { return start_time_; }

@@ -1,0 +1,415 @@
+// Randomized VM-lifecycle churn fuzzer plus targeted lifecycle regression
+// tests, all under the invariant checker.
+//
+// The fuzzer interleaves domain create/destroy/pause/resume with workload
+// bursts, VCPU wakes and forced migrations against every scheduler, seeded
+// so any violation reproduces exactly:
+//
+//     ./build/tests/churn_fuzz_test --seed=7 --steps=200
+//
+// Flags (parsed before gtest's):
+//   --smoke      shorter op sequences (CI gate)
+//   --seed=N     fuzz only seed N (default: seeds 1, 2, 3)
+//   --steps=N    ops per fuzz run (default 120; smoke 40)
+//
+// The targeted tests pin the teardown edge cases the fuzzer found first:
+// destroying a domain whose VCPU is running, destroying mid-migration (the
+// vcpu.pcpu-retarget transient), pause latching a timed wake, per-node
+// free-page round-trips, and retirement cancelling pending wake timers.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/invariants.hpp"
+#include "hv/pcpu.hpp"
+#include "scenario_helpers.hpp"
+#include "sim/rng.hpp"
+
+namespace vprobe::test {
+namespace {
+
+bool g_smoke = false;
+std::uint64_t g_seed_override = 0;  // 0 = default seed set
+int g_steps = 0;                    // 0 = default per mode
+
+int fuzz_steps() { return g_steps > 0 ? g_steps : (g_smoke ? 40 : 120); }
+
+std::vector<std::uint64_t> fuzz_seeds() {
+  if (g_seed_override != 0) return {g_seed_override};
+  return {1, 2, 3};
+}
+
+/// One dynamically created VM owned by the fuzzer.
+struct FuzzVm {
+  int domain_id = 0;
+  std::vector<std::unique_ptr<FakeWork>> works;
+  bool paused = false;
+};
+
+/// Run `steps` random lifecycle ops against the mini scenario, with the
+/// invariant checker attached the whole time.  Everything derives from
+/// (kind, seed); a failure message tells the reader how to reproduce.
+void run_churn_fuzz(runner::SchedKind kind, std::uint64_t seed, int steps) {
+  SCOPED_TRACE(std::string("scheduler=") + runner::to_string(kind) +
+               " seed=" + std::to_string(seed) +
+               " (reproduce: churn_fuzz_test --seed=" + std::to_string(seed) +
+               " --steps=" + std::to_string(steps) + ")");
+
+  MiniScenario sc = make_mini_scenario(kind, seed);
+  hv::Hypervisor& hv = *sc.hv;
+  check::InvariantChecker checker;
+  checker.attach(hv);
+
+  hv.start();
+  for (hv::Domain* dom : {sc.vm1, sc.vm2}) {
+    for (auto* vcpu : domain_vcpus(*dom)) hv.wake(*vcpu);
+  }
+
+  // The fuzzer's own decision stream — never the hypervisor's rng.
+  sim::Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x243f6a8885a308d3ull);
+  std::vector<FuzzVm> vms;
+  int next_vm = 0;
+
+  const auto create_vm = [&] {
+    const int vcpus = static_cast<int>(rng.uniform_int(1, 3));
+    const std::int64_t chunk = hv.config().machine.chunk_bytes;
+    const std::int64_t mem =
+        rng.uniform_int(32, 256) * (1ll << 20) / chunk * chunk + chunk;
+    std::int64_t free_chunks = 0;
+    for (int n = 0; n < hv.memory_manager().num_nodes(); ++n) {
+      free_chunks += hv.memory_manager().free_chunks(n);
+    }
+    if (mem / chunk > free_chunks) return;
+    hv::Domain& dom =
+        hv.create_domain("fuzz" + std::to_string(next_vm++), mem, vcpus,
+                         numa::PlacementPolicy::kFillFirst);
+    FuzzVm vm;
+    vm.domain_id = dom.id();
+    for (auto* vcpu : domain_vcpus(dom)) {
+      auto work = std::make_unique<FakeWork>();
+      work->total_instructions = 1e18;
+      if (rng.chance(0.5)) {
+        work->burst = 2e6;
+        work->block_for = rng.chance(0.5) ? sim::Time::ms(1) : sim::Time::zero();
+      }
+      work->rpti = rng.uniform(2.0, 20.0);
+      work->solo_miss = rng.uniform(0.02, 0.2);
+      hv.bind_work(*vcpu, *work);
+      vm.works.push_back(std::move(work));
+      hv.wake(*vcpu);
+    }
+    vms.push_back(std::move(vm));
+  };
+
+  for (int step = 0; step < steps; ++step) {
+    hv.engine().run_until(hv.now() +
+                          sim::Time::us(rng.uniform_int(500, 4000)));
+    const double op = rng.uniform();
+    if (op < 0.22) {
+      if (vms.size() < 6) create_vm();
+    } else if (op < 0.40) {
+      if (!vms.empty()) {
+        const std::size_t pick = rng.pick_index(vms.size());
+        hv::Domain* dom = hv.find_domain(vms[pick].domain_id);
+        ASSERT_NE(dom, nullptr);
+        hv.destroy_domain(*dom);
+        vms.erase(vms.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    } else if (op < 0.55) {
+      if (!vms.empty()) {
+        FuzzVm& vm = vms[rng.pick_index(vms.size())];
+        if (!vm.paused) {
+          hv.pause_domain(*hv.find_domain(vm.domain_id));
+          vm.paused = true;
+        }
+      }
+    } else if (op < 0.70) {
+      if (!vms.empty()) {
+        FuzzVm& vm = vms[rng.pick_index(vms.size())];
+        if (vm.paused) {
+          hv.resume_domain(*hv.find_domain(vm.domain_id));
+          vm.paused = false;
+        }
+      }
+    } else if (op < 0.88) {
+      // Random wake: a no-op on runnable/running VCPUs, a latch on paused.
+      auto vcpus = hv.all_vcpus();
+      if (!vcpus.empty()) hv.wake(*vcpus[rng.pick_index(vcpus.size())]);
+    } else {
+      // Forced migration, any state — including the running transient.
+      auto vcpus = hv.all_vcpus();
+      if (!vcpus.empty()) {
+        hv.migrate_to_node(
+            *vcpus[rng.pick_index(vcpus.size())],
+            static_cast<numa::NodeId>(
+                rng.uniform_int(0, hv.topology().num_nodes() - 1)));
+      }
+    }
+  }
+
+  // Teardown: destroy everything the fuzzer created (half while paused),
+  // let the machine settle, and sweep one final time.
+  for (FuzzVm& vm : vms) {
+    if (hv::Domain* dom = hv.find_domain(vm.domain_id)) hv.destroy_domain(*dom);
+  }
+  vms.clear();
+  hv.engine().run_until(hv.now() + sim::Time::ms(50));
+  checker.check_now();
+
+  if (!checker.ok()) {
+    std::string first;
+    for (const auto& v : checker.violations()) {
+      first += "\n  " + v.what;
+      if (first.size() > 2000) break;
+    }
+    ADD_FAILURE() << checker.total_violations()
+                  << " invariant violation(s):" << first;
+  }
+  checker.detach();
+}
+
+TEST(ChurnFuzz, AllSchedulersAllSeeds) {
+  for (runner::SchedKind kind : runner::all_schedulers()) {
+    for (std::uint64_t seed : fuzz_seeds()) {
+      run_churn_fuzz(kind, seed, fuzz_steps());
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// -- targeted lifecycle regressions -------------------------------------------
+
+/// Destroying a domain whose VCPUs are actively running must settle their
+/// partial segments, free the PCPUs, and return all memory.
+TEST(Lifecycle, DestroyWhileRunning) {
+  auto hv = make_credit_hv(7);
+  check::InvariantChecker checker;
+  checker.attach(*hv);
+
+  auto& mm = hv->memory_manager();
+  std::vector<std::int64_t> free_before;
+  for (int n = 0; n < mm.num_nodes(); ++n) {
+    free_before.push_back(mm.free_chunks(n));
+  }
+
+  hv::Domain& dom = hv->create_domain("victim", 2 * kTestGB, 4,
+                                      numa::PlacementPolicy::kFillFirst);
+  std::vector<std::unique_ptr<FakeWork>> works;
+  for (auto* v : domain_vcpus(dom)) {
+    works.push_back(std::make_unique<FakeWork>());
+    works.back()->total_instructions = 1e18;
+    hv->bind_work(*v, *works.back());
+  }
+  hv->start();
+  for (auto* v : domain_vcpus(dom)) hv->wake(*v);
+  hv->engine().run_until(sim::Time::ms(20));  // everyone is mid-segment now
+
+  hv->destroy_domain(dom);
+  EXPECT_TRUE(hv->all_vcpus().empty());
+  EXPECT_EQ(hv->find_domain(1), nullptr);
+  for (int n = 0; n < mm.num_nodes(); ++n) {
+    EXPECT_EQ(mm.free_chunks(n), free_before[static_cast<std::size_t>(n)])
+        << "node " << n << " did not get its chunks back";
+  }
+
+  // The machine must keep running cleanly (ticks, accounting) afterwards.
+  hv->engine().run_until(sim::Time::ms(100));
+  checker.check_now();
+  checker.expect_ok();
+  checker.detach();
+}
+
+/// Destroying a domain while one of its VCPUs is in the migrate_to_node
+/// transient (vcpu.pcpu retargeted, still current elsewhere) must find the
+/// real host via the current pointers, not vcpu.pcpu.
+TEST(Lifecycle, DestroyMidMigration) {
+  auto hv = make_credit_hv(11);
+  check::InvariantChecker checker;
+  checker.attach(*hv);
+
+  hv::Domain& dom = hv->create_domain("mig", kTestGB, 2,
+                                      numa::PlacementPolicy::kFillFirst);
+  std::vector<std::unique_ptr<FakeWork>> works;
+  for (auto* v : domain_vcpus(dom)) {
+    works.push_back(std::make_unique<FakeWork>());
+    works.back()->total_instructions = 1e18;
+    hv->bind_work(*v, *works.back());
+  }
+  hv->start();
+  for (auto* v : domain_vcpus(dom)) hv->wake(*v);
+  hv->engine().run_until(sim::Time::ms(5));
+
+  hv::Vcpu& v0 = dom.vcpu(0);
+  ASSERT_EQ(v0.state, hv::VcpuState::kRunning);
+  const numa::NodeId away = 1 - hv->topology().node_of(v0.pcpu);
+  hv->migrate_to_node(v0, away);  // retargets v0.pcpu, preemption is async
+
+  // Destroy immediately — v0.pcpu now disagrees with the hosting PCPU.
+  hv->destroy_domain(dom);
+  for (hv::Pcpu& p : hv->pcpus()) {
+    EXPECT_EQ(p.current, nullptr) << "pcpu " << p.id << " still hosts a ghost";
+    EXPECT_EQ(p.queue.size(), 0u);
+  }
+  hv->engine().run_until(sim::Time::ms(60));
+  checker.check_now();
+  checker.expect_ok();
+  checker.detach();
+}
+
+/// A timed wake landing while the VCPU is paused must be latched and
+/// replayed on resume — not lost, and not delivered early.
+TEST(Lifecycle, PauseLatchesTimedWake) {
+  auto hv = make_credit_hv(3);
+  hv::Domain& dom = hv->create_domain("sleeper", kTestGB, 1,
+                                      numa::PlacementPolicy::kFillFirst);
+  FakeWork work;
+  work.total_instructions = 1e18;
+  work.burst = 1e6;
+  work.block_for = sim::Time::ms(2);  // kBlockTimed
+  hv->bind_work(dom.vcpu(0), work);
+  hv->start();
+  hv->wake(dom.vcpu(0));
+  // Let it run into its first timed block.
+  runner::run_until(
+      *hv, [&] { return dom.vcpu(0).state == hv::VcpuState::kBlocked; },
+      sim::Time::ms(50), sim::Time::us(100));
+  ASSERT_EQ(dom.vcpu(0).state, hv::VcpuState::kBlocked);
+
+  hv->pause_domain(dom);
+  EXPECT_EQ(dom.vcpu(0).state, hv::VcpuState::kPaused);
+  // The timed wake fires during the pause: must latch, not run.
+  hv->engine().run_until(hv->now() + sim::Time::ms(10));
+  EXPECT_EQ(dom.vcpu(0).state, hv::VcpuState::kPaused);
+  EXPECT_TRUE(dom.vcpu(0).wake_pending);
+
+  hv->resume_domain(dom);
+  runner::run_until(
+      *hv, [&] { return work.executed > 1.5e6; },
+      hv->now() + sim::Time::ms(50), sim::Time::us(100));
+  EXPECT_GT(work.executed, 1.5e6) << "latched wake was not replayed";
+}
+
+/// Pausing a runnable VCPU dequeues it; resume makes it runnable again
+/// without an external wake (the latched-wake path).
+TEST(Lifecycle, PauseRunnableThenResume) {
+  auto hv = make_credit_hv(5);
+  hv::Domain& dom = hv->create_domain("held", kTestGB, 10,
+                                      numa::PlacementPolicy::kFillFirst);
+  std::vector<std::unique_ptr<FakeWork>> works;
+  for (auto* v : domain_vcpus(dom)) {
+    works.push_back(std::make_unique<FakeWork>());
+    works.back()->total_instructions = 1e18;
+    hv->bind_work(*v, *works.back());
+  }
+  hv->start();
+  for (auto* v : domain_vcpus(dom)) hv->wake(*v);
+  hv->engine().run_until(sim::Time::ms(3));
+
+  hv->pause_domain(dom);
+  for (auto* v : domain_vcpus(dom)) {
+    EXPECT_EQ(v->state, hv::VcpuState::kPaused);
+    EXPECT_FALSE(v->in_runqueue);
+  }
+  for (hv::Pcpu& p : hv->pcpus()) EXPECT_EQ(p.current, nullptr);
+
+  const double executed_at_pause = [&] {
+    double total = 0.0;
+    for (const auto& w : works) total += w->executed;
+    return total;
+  }();
+  hv->engine().run_until(hv->now() + sim::Time::ms(20));
+  double executed_after = 0.0;
+  for (const auto& w : works) executed_after += w->executed;
+  EXPECT_EQ(executed_after, executed_at_pause) << "paused domain kept running";
+
+  hv->resume_domain(dom);
+  // Run past a full slice (30 ms): executed instructions are only credited
+  // when a segment settles, so a shorter window would observe nothing even
+  // on a healthy resume.
+  hv->engine().run_until(hv->now() + sim::Time::ms(60));
+  int running = 0;
+  for (auto* v : domain_vcpus(dom)) {
+    running += v->state == hv::VcpuState::kRunning ? 1 : 0;
+  }
+  EXPECT_EQ(running, static_cast<int>(hv->pcpus().size()))
+      << "resume did not refill the machine";
+  executed_after = 0.0;
+  for (const auto& w : works) executed_after += w->executed;
+  EXPECT_GT(executed_after, executed_at_pause) << "resume did not restart";
+}
+
+/// destroy_domain on a domain with a pending timed wake: the wake timer is
+/// cancelled, so no event ever fires against the dead VCPU (the checker's
+/// on_trace_event rule would catch it).
+TEST(Lifecycle, RetireCancelsPendingTimedWake) {
+  auto hv = make_credit_hv(13);
+  check::InvariantChecker checker;
+  checker.attach(*hv);
+
+  hv::Domain& dom = hv->create_domain("timer", kTestGB, 1,
+                                      numa::PlacementPolicy::kFillFirst);
+  FakeWork work;
+  work.total_instructions = 1e18;
+  work.burst = 1e6;
+  work.block_for = sim::Time::ms(5);
+  hv->bind_work(dom.vcpu(0), work);
+  hv->start();
+  hv->wake(dom.vcpu(0));
+  runner::run_until(
+      *hv, [&] { return dom.vcpu(0).state == hv::VcpuState::kBlocked; },
+      sim::Time::ms(50), sim::Time::us(100));
+  ASSERT_EQ(dom.vcpu(0).state, hv::VcpuState::kBlocked);
+
+  hv->destroy_domain(dom);
+  // Run past when the timed wake would have fired; the checker flags any
+  // event against the retired id.
+  hv->engine().run_until(hv->now() + sim::Time::ms(20));
+  checker.check_now();
+  checker.expect_ok();
+  checker.detach();
+}
+
+/// Global VCPU ids are never reused across destroy/create cycles.
+TEST(Lifecycle, VcpuIdsNeverReused) {
+  auto hv = make_credit_hv(17);
+  hv::Domain& a = hv->create_domain("a", kTestGB, 3,
+                                    numa::PlacementPolicy::kFillFirst);
+  const int last_a = a.vcpu(2).id();
+  hv->destroy_domain(a);
+  hv::Domain& b = hv->create_domain("b", kTestGB, 3,
+                                    numa::PlacementPolicy::kFillFirst);
+  EXPECT_GT(b.vcpu(0).id(), last_a)
+      << "destroy/create recycled a global VCPU id";
+  EXPECT_EQ(hv->find_domain(b.id()), &b);
+}
+
+}  // namespace
+}  // namespace vprobe::test
+
+int main(int argc, char** argv) {
+  // Parse our flags first and strip them, then hand the rest to gtest.
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      vprobe::test::g_smoke = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      vprobe::test::g_seed_override =
+          std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--steps=", 0) == 0) {
+      vprobe::test::g_steps =
+          static_cast<int>(std::strtol(arg.c_str() + 8, nullptr, 10));
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  ::testing::InitGoogleTest(&rest_argc, rest.data());
+  return RUN_ALL_TESTS();
+}

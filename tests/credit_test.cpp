@@ -241,6 +241,44 @@ TEST_F(CreditTest, WorkStealingFillsPcpuThatIdlesMidTick) {
   }
 }
 
+TEST_F(CreditTest, AccountingRenormalizesAfterDomainDestroy) {
+  // 12 spinners on 8 PCPUs: everyone's share is 2/3 of a PCPU and credits
+  // hover near zero.  When the 8-VCPU domain leaves mid-run, the accounting
+  // pass must re-split the whole machine's budget over the 4 survivors —
+  // no share may stay reserved for the dead VM's VCPUs.
+  Domain& stay = make_domain(4, 0);
+  Domain& leave = make_domain(8, 1);
+  for (std::size_t i = 0; i < 4; ++i) spin_forever(stay.vcpu(i));
+  for (std::size_t i = 0; i < 8; ++i) spin_forever(leave.vcpu(i));
+  hv_->start();
+  for (std::size_t i = 0; i < 4; ++i) hv_->wake(stay.vcpu(i));
+  for (std::size_t i = 0; i < 8; ++i) hv_->wake(leave.vcpu(i));
+  hv_->engine().run_until(sim::Time::sec(1));
+
+  const auto& p = static_cast<CreditScheduler&>(hv_->scheduler()).params();
+  double min_credits = 1e300;
+  for (std::size_t i = 0; i < 4; ++i) {
+    min_credits = std::min(min_credits, stay.vcpu(i).credits);
+  }
+  EXPECT_LT(min_credits, p.credit_cap / 2)
+      << "oversubscribed VCPUs should sit far below the credit cap";
+
+  hv_->destroy_domain(leave);
+  ASSERT_EQ(hv_->all_vcpus().size(), 4u);
+  hv_->engine().run_until(sim::Time::sec(2));
+
+  // 4 active VCPUs on 8 PCPUs: each survivor's grant (2400/4 per pass)
+  // exceeds its burn (≤300 per pass), so credits recover into [0, cap] and
+  // priority returns to UNDER.
+  for (std::size_t i = 0; i < 4; ++i) {
+    Vcpu& v = stay.vcpu(i);
+    EXPECT_EQ(v.state, VcpuState::kRunning) << i;
+    EXPECT_GE(v.credits, 0.0) << i;
+    EXPECT_LE(v.credits, p.credit_cap) << i;
+    EXPECT_NE(v.priority, CreditPrio::kOver) << i;
+  }
+}
+
 TEST_F(CreditTest, BlockedVcpusDoNotEatCpu) {
   Domain& dom = make_domain(2);
   FakeWork& active = spin_forever(dom.vcpu(0));

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "runner/churn.hpp"
 #include "runner/scenario.hpp"
 #include "scenario_helpers.hpp"
 #include "trace/digest.hpp"
@@ -56,6 +57,7 @@ void save_goldens(const std::map<std::string, GoldenEntry>& goldens) {
   out << "# Golden trace digests: <scheduler> <records> <fnv1a-64 hex>\n"
       << "# Mini scenario (tests/scenario_helpers.hpp), seed " << kGoldenSeed
       << ", 400 ms.\n"
+      << "# churn_credit: same scenario under Credit plus a seeded ChurnDriver.\n"
       << "# Regenerate: VPROBE_UPDATE_GOLDEN=1 ctest -L golden\n";
   for (const auto& [key, entry] : goldens) {
     out << key << ' ' << entry.records << ' ' << entry.digest << '\n';
@@ -106,6 +108,57 @@ TEST_P(GoldenTrace, MatchesCheckedInDigest) {
     GTEST_SKIP() << "golden updated: " << key << " = " << actual.digest;
   }
 
+  ASSERT_TRUE(goldens.count(key))
+      << "no golden for '" << key << "' in " << golden_path()
+      << " — run VPROBE_UPDATE_GOLDEN=1 ctest -L golden";
+  EXPECT_EQ(goldens[key].records, actual.records) << key;
+  EXPECT_EQ(goldens[key].digest, actual.digest)
+      << key << ": trace stream changed. If intentional, regenerate with "
+      << "VPROBE_UPDATE_GOLDEN=1 ctest -L golden";
+}
+
+// Dynamic-scenario digest: the same mini scenario under Credit with a
+// seeded churn of arriving/pausing/departing VMs layered on top, drained at
+// the horizon so the stream also covers the teardown events
+// (kPause/kResume/kRetire/kDomainDestroy).  Pins the full lifecycle path —
+// retirement ordering, freed-memory bookkeeping, paused-wake latching —
+// byte-for-byte.
+TEST(GoldenTrace, ChurnScenarioMatchesCheckedInDigest) {
+  const std::string key = "churn_credit";
+  trace::Tracer tracer(1 << 20);
+  test::MiniScenario sc =
+      test::make_mini_scenario(runner::SchedKind::kCredit, kGoldenSeed);
+  sc.hv->set_tracer(&tracer);
+
+  runner::ChurnOptions copts;
+  copts.seed = kGoldenSeed;
+  copts.start_after = sim::Time::ms(10);
+  copts.mean_interarrival = sim::Time::ms(30);
+  copts.mean_lifetime = sim::Time::ms(80);
+  copts.pause_probability = 0.4;
+  copts.mean_pause = sim::Time::ms(15);
+  copts.max_live = 4;
+  runner::ChurnDriver churn(*sc.hv, copts);
+  churn.start();
+  test::run_mini(sc);
+  churn.drain();
+  sc.hv->set_tracer(nullptr);
+
+  EXPECT_EQ(tracer.dropped(), 0u) << "ring too small — digest would be partial";
+  ASSERT_GT(churn.arrivals(), 0u) << "churn never fired: digest covers nothing new";
+  ASSERT_GT(churn.departures(), 0u);
+
+  const auto records = tracer.snapshot();
+  GoldenEntry actual;
+  actual.records = records.size();
+  actual.digest = trace::digest_hex(trace::digest_records(records));
+
+  auto goldens = load_goldens();
+  if (update_mode()) {
+    goldens[key] = actual;
+    save_goldens(goldens);
+    GTEST_SKIP() << "golden updated: " << key << " = " << actual.digest;
+  }
   ASSERT_TRUE(goldens.count(key))
       << "no golden for '" << key << "' in " << golden_path()
       << " — run VPROBE_UPDATE_GOLDEN=1 ctest -L golden";

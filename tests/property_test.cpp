@@ -371,5 +371,48 @@ TEST_P(MemoryConservation, ReserveReleaseNeverLeaksOrDoubleFrees) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MemoryConservation, ::testing::Values(3, 9));
 
+/// Domain-lifecycle conservation: after ANY random create/destroy sequence
+/// has fully unwound, every node's free-chunk count is exactly what it was
+/// before the sequence began — freed memory returns to the node it came
+/// from, across all placement policies.
+TEST_P(MemoryConservation, DomainLifecycleRoundTripsNodeFreeCounts) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1543);
+  auto hv = test::make_credit_hv(static_cast<std::uint64_t>(GetParam()));
+  numa::MemoryManager& mm = hv->memory_manager();
+  std::vector<std::int64_t> baseline;
+  for (int n = 0; n < mm.num_nodes(); ++n) baseline.push_back(mm.free_chunks(n));
+
+  const numa::PlacementPolicy policies[] = {
+      numa::PlacementPolicy::kFillFirst, numa::PlacementPolicy::kStriped,
+      numa::PlacementPolicy::kOnNode, numa::PlacementPolicy::kFirstTouch};
+  std::vector<int> live_ids;
+  int made = 0;
+  for (int step = 0; step < 200; ++step) {
+    if (!live_ids.empty() && rng.chance(0.45)) {
+      const std::size_t pick = rng.pick_index(live_ids.size());
+      hv->destroy_domain(live_ids[pick]);
+      live_ids.erase(live_ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const std::int64_t chunk = hv->config().machine.chunk_bytes;
+      const std::int64_t mem = rng.uniform_int(1, 128) * chunk;
+      std::int64_t free_total = 0;
+      for (int n = 0; n < mm.num_nodes(); ++n) free_total += mm.free_chunks(n);
+      if (mem / chunk > free_total) continue;
+      hv::Domain& dom = hv->create_domain(
+          "d" + std::to_string(made++), mem,
+          static_cast<int>(rng.uniform_int(1, 4)),
+          policies[rng.pick_index(4)],
+          static_cast<numa::NodeId>(rng.uniform_int(0, mm.num_nodes() - 1)));
+      live_ids.push_back(dom.id());
+    }
+  }
+  for (int id : live_ids) hv->destroy_domain(id);
+  for (int n = 0; n < mm.num_nodes(); ++n) {
+    EXPECT_EQ(mm.free_chunks(n), baseline[static_cast<std::size_t>(n)])
+        << "node " << n << " free count did not round-trip";
+    EXPECT_EQ(mm.used_chunks(n), 0);
+  }
+}
+
 }  // namespace
 }  // namespace vprobe
