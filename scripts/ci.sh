@@ -11,14 +11,18 @@ cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
-echo "== labelled suites (golden, differential, engine, churn) =="
+echo "== labelled suites (golden, differential, engine, churn, costmodel) =="
 ctest --test-dir build -L golden --output-on-failure
 ctest --test-dir build -L differential --output-on-failure
 ctest --test-dir build -L engine --output-on-failure
 ctest --test-dir build -L churn --output-on-failure
+ctest --test-dir build -L costmodel --output-on-failure
 
 echo "== engine hot-path smoke (zero steady-state allocations gate) =="
 ./build/bench/engine_bench --smoke
+
+echo "== cost-model memo smoke (bit-identity + hit-rate + lookup-count gate) =="
+./build/bench/costmodel_bench --smoke
 
 echo "== lifecycle churn fuzzer smoke (invariants under create/destroy/pause) =="
 ./build/tests/churn_fuzz_test --smoke

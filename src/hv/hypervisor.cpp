@@ -29,6 +29,9 @@ Hypervisor::Hypervisor(Config config, std::unique_ptr<Scheduler> scheduler)
       cost_model_(config_.machine, machine_state_),
       scheduler_(std::move(scheduler)) {
   if (!scheduler_) throw std::invalid_argument("Hypervisor: scheduler is null");
+  cost_model_.set_cache_enabled(config_.rate_cache);
+  machine_state_.set_decay_caches(config_.rate_cache);
+  cost_model_.resize_cache(static_cast<std::size_t>(topology_.num_pcpus()));
   pcpus_.resize(static_cast<std::size_t>(topology_.num_pcpus()));
   for (int p = 0; p < topology_.num_pcpus(); ++p) {
     pcpus_[static_cast<std::size_t>(p)].id = p;
@@ -446,29 +449,60 @@ void Hypervisor::start_segment(Pcpu& p) {
   assert(v.work() != nullptr && "VCPU scheduled without bound work");
   const sim::Time now = engine_.now();
 
-  BurstPlan plan = v.work()->next_burst(now);
-  // Stabilise the node-fraction span: copy into the PCPU-owned buffer so
-  // placement changes mid-segment cannot invalidate it.
-  p.frac_copy.fill(0.0);
-  const auto& frac = plan.profile.node_fractions;
-  const std::size_t n =
-      std::min(frac.size(), p.frac_copy.size());
-  std::copy_n(frac.begin(), n, p.frac_copy.begin());
-  plan.profile.node_fractions =
-      std::span<const double>(p.frac_copy.data(), p.frac_copy.size());
-  p.burst = plan;
+  // Unchanged-burst reuse: when the same VCPU's workload reports that
+  // next_burst() would hand back exactly the plan it produced last time
+  // (side-effect-free workloads only — jitter draws and first-touch must
+  // decline) and the VM's page placement has not moved since (guards
+  // page migration mid-burst), the call and the node-fraction re-copy are
+  // skipped outright; p.burst and p.frac_copy already hold the plan.
+  const bool reuse_burst =
+      config_.rate_cache && p.burst_vcpu == v.id() &&
+      p.burst_placement_version == v.domain()->memory().placement_version() &&
+      v.work()->burst_unchanged(now);
+  if (!reuse_burst) {
+    BurstPlan plan = v.work()->next_burst(now);
+    // Stabilise the node-fraction span: copy into the PCPU-owned buffer so
+    // placement changes mid-segment cannot invalidate it.
+    p.frac_copy.fill(0.0);
+    const auto& frac = plan.profile.node_fractions;
+    const std::size_t n =
+        std::min(frac.size(), p.frac_copy.size());
+    std::copy_n(frac.begin(), n, p.frac_copy.begin());
+    plan.profile.node_fractions =
+        std::span<const double>(p.frac_copy.data(), p.frac_copy.size());
+    p.burst = plan;
+    p.burst_vcpu = v.id();
+    p.burst_placement_version = v.domain()->memory().placement_version();
+  }
+  const BurstPlan& plan = p.burst;
 
   machine_state_.occupant_in(p.node, static_cast<std::uint64_t>(v.id()),
                              plan.profile.working_set_bytes);
 
-  const double nspi = cost_model_.ns_per_instr(
-      plan.profile, p.node, v.warmth.extra_miss_rate(), now);
-  const double burst_ns = plan.instructions * nspi;
-  sim::Time seg_end = now + p.pending_stall +
-                      sim::Time::ns(static_cast<std::int64_t>(
-                          std::min(burst_ns, 9.0e15) + 1.0));
-  if (seg_end > p.slice_end) seg_end = p.slice_end;
-  if (seg_end <= now) seg_end = now + sim::Time::ns(1);
+  // Slice-clamp fast path: ns_per_instr can never be below base_cpi/clock
+  // (every other cost term is non-negative), so when even at that floor the
+  // burst overruns the slice, the predicted end is the slice end for ANY
+  // actual rate — same seg_end, rate evaluation skipped.  CPU-bound guests
+  // spend nearly all their segments here.  The settlement recomputes the
+  // rates it needs either way, so results are bit-identical.
+  sim::Time seg_end;
+  const double floor_ns = plan.instructions * cost_model_.min_ns_per_instr();
+  const sim::Time floor_end = now + p.pending_stall +
+                              sim::Time::ns(static_cast<std::int64_t>(
+                                  std::min(floor_ns, 9.0e15) + 1.0));
+  if (config_.rate_cache && floor_end >= p.slice_end) {
+    seg_end = p.slice_end;
+  } else {
+    const double nspi = cost_model_.ns_per_instr_cached(
+        static_cast<std::size_t>(p.id), plan.profile, p.node,
+        v.warmth.extra_miss_rate(), now);
+    const double burst_ns = plan.instructions * nspi;
+    seg_end = now + p.pending_stall +
+              sim::Time::ns(static_cast<std::int64_t>(
+                  std::min(burst_ns, 9.0e15) + 1.0));
+    if (seg_end > p.slice_end) seg_end = p.slice_end;
+    if (seg_end <= now) seg_end = now + sim::Time::ns(1);
+  }
 
   p.segment_start = now;
   p.segment_event = engine_.schedule_at(
@@ -486,9 +520,14 @@ double Hypervisor::settle_segment(Pcpu& p) {
   p.pending_stall -= stall_used;
   const sim::Time work_time = elapsed - stall_used;
 
-  perf::ExecResult res = cost_model_.run(
-      p.burst.profile, p.node, v.warmth.extra_miss_rate(),
-      p.burst.instructions, work_time, p.segment_start);
+  // Settlement recomputes rates at the segment's *start* time — the same
+  // `now` the prediction in start_segment used, so when no contention
+  // version moved while the segment ran this reuses the PCPU's own
+  // start-of-segment snapshot verbatim.
+  perf::ExecResult res = cost_model_.run_cached(
+      static_cast<std::size_t>(p.id), p.burst.profile, p.node,
+      v.warmth.extra_miss_rate(), p.burst.instructions, work_time,
+      p.segment_start);
   v.pmu.add(res.counters);
   v.warmth.on_executed(res.instructions);
   v.cpu_time += res.elapsed;

@@ -1,7 +1,5 @@
 #include "numa/interconnect.hpp"
 
-#include <cassert>
-
 namespace vprobe::numa {
 
 Interconnect::Interconnect(const MachineConfig& cfg)
@@ -11,24 +9,5 @@ Interconnect::Interconnect(const MachineConfig& cfg)
       queueing_slope_ns_(cfg.qpi_queueing_slope_ns),
       links_(static_cast<std::size_t>(num_nodes_) * static_cast<std::size_t>(num_nodes_),
              RateTracker{sim::Time::ms(10)}) {}
-
-void Interconnect::record_traffic(NodeId from, NodeId to, double bytes,
-                                  sim::Time now, sim::Time duration) {
-  assert(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
-  if (from == to) return;  // local accesses never touch the fabric
-  links_[link_index(from, to)].record(bytes, now, duration);
-  total_bytes_ += bytes;
-}
-
-double Interconnect::utilization(NodeId from, NodeId to, sim::Time now) const {
-  assert(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
-  if (from == to) return 0.0;
-  return links_[link_index(from, to)].rate(now) / link_bw_;
-}
-
-double Interconnect::remote_extra_ns(NodeId from, NodeId to, sim::Time now) const {
-  if (from == to) return 0.0;
-  return base_extra_ns_ + queueing_slope_ns_ * utilization(from, to, now);
-}
 
 }  // namespace vprobe::numa

@@ -11,6 +11,8 @@
 // "interconnect link contention" factor.
 #pragma once
 
+#include <cassert>
+#include <cstdint>
 #include <vector>
 
 #include "numa/machine_config.hpp"
@@ -23,18 +25,51 @@ class Interconnect {
  public:
   explicit Interconnect(const MachineConfig& cfg);
 
+  // The three per-access entry points are defined inline: they run once or
+  // twice per execution segment and the call overhead is measurable.
+
   /// Record `bytes` moved from node `from` to node `to` over `duration`.
   void record_traffic(NodeId from, NodeId to, double bytes, sim::Time now,
-                      sim::Time duration);
+                      sim::Time duration) {
+    assert(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+    if (from == to) return;  // local accesses never touch the fabric
+    links_[link_index(from, to)].record(bytes, now, duration);
+    total_bytes_ += bytes;
+    ++version_;
+  }
 
   /// Utilisation of the (from, to) link in [0, ~).
-  double utilization(NodeId from, NodeId to, sim::Time now) const;
+  double utilization(NodeId from, NodeId to, sim::Time now) const {
+    assert(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+    if (from == to) return 0.0;
+    return links_[link_index(from, to)].rate(now) / link_bw_;
+  }
 
   /// Extra nanoseconds a remote access pays on top of DRAM latency.
-  double remote_extra_ns(NodeId from, NodeId to, sim::Time now) const;
+  double remote_extra_ns(NodeId from, NodeId to, sim::Time now) const {
+    if (from == to) return 0.0;
+    return base_extra_ns_ + queueing_slope_ns_ * utilization(from, to, now);
+  }
 
   double link_bandwidth_bytes_per_s() const { return link_bw_; }
   double total_bytes() const { return total_bytes_; }
+
+  /// Bumped on every effective mutation (`record_traffic` with `from !=
+  /// to`); never decreases.
+  std::uint64_t version() const { return version_; }
+
+  /// Every link tracker idle: `remote_extra_ns()` reduces to the constant
+  /// base latency on every link, for any `now`.
+  bool idle() const {
+    for (const RateTracker& link : links_) {
+      if (!link.idle()) return false;
+    }
+    return true;
+  }
+
+  void set_decay_cache(bool enabled) {
+    for (RateTracker& link : links_) link.set_decay_cache(enabled);
+  }
 
  private:
   std::size_t link_index(NodeId from, NodeId to) const {
@@ -48,6 +83,7 @@ class Interconnect {
   double queueing_slope_ns_;
   std::vector<RateTracker> links_;  // row-major [from][to]
   double total_bytes_ = 0.0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace vprobe::numa

@@ -12,10 +12,18 @@
 // a low solo miss rate but high sensitivity (their misses explode under
 // contention); LLC-friendly apps barely reference the cache at all, so their
 // miss rate is irrelevant to their performance.
+//
+// The occupant table is a flat array scanned linearly: only VCPUs *running*
+// on the node register demand, so it never holds more entries than the node
+// has PCPUs (single digits).  set_demand/remove run twice per execution
+// segment — the hottest mutation path in the simulator — and at this size a
+// linear scan beats a hash map by a wide margin while performing the exact
+// same total-demand arithmetic (the container never touches the doubles).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "numa/machine_config.hpp"
 
@@ -28,13 +36,41 @@ class LlcModel {
 
   /// Register (or update) the cache demand of an occupant, keyed by an
   /// opaque id (the VCPU's global id).  Demand is working-set bytes.
-  void set_demand(std::uint64_t occupant, double demand_bytes);
+  void set_demand(std::uint64_t occupant, double demand_bytes) {
+    ++version_;
+    for (Entry& e : demand_) {
+      if (e.occupant == occupant) {
+        total_demand_ += demand_bytes - e.demand;
+        e.demand = demand_bytes;
+        clamp_total();
+        return;
+      }
+    }
+    demand_.push_back(Entry{occupant, demand_bytes});
+    total_demand_ += demand_bytes;
+    clamp_total();
+  }
 
   /// Remove an occupant (VCPU descheduled or migrated off-node).
-  void remove(std::uint64_t occupant);
+  void remove(std::uint64_t occupant) {
+    for (Entry& e : demand_) {
+      if (e.occupant == occupant) {
+        ++version_;
+        total_demand_ -= e.demand;
+        clamp_total();
+        e = demand_.back();  // order is irrelevant: reads only use the total
+        demand_.pop_back();
+        return;
+      }
+    }
+    // no-op: nothing changed, no version bump
+  }
 
   /// Fraction of aggregate demand that does not fit: in [0, 1).
-  double overcommit() const;
+  double overcommit() const {
+    if (total_demand_ <= capacity_ || total_demand_ <= 0.0) return 0.0;
+    return (total_demand_ - capacity_) / total_demand_;
+  }
 
   /// Aggregate demand over capacity; >1 means the cache is oversubscribed.
   /// This is the "LLC contention" signal the experiments report.
@@ -42,16 +78,36 @@ class LlcModel {
 
   /// Effective miss rate for an occupant with the given solo miss rate and
   /// contention sensitivity.
-  double miss_rate(double solo_miss, double sensitivity) const;
+  double miss_rate(double solo_miss, double sensitivity) const {
+    const double m = solo_miss + sensitivity * overcommit();
+    return std::clamp(m, 0.0, 1.0);
+  }
 
   double capacity_bytes() const { return capacity_; }
   double total_demand_bytes() const { return total_demand_; }
   int occupants() const { return static_cast<int>(demand_.size()); }
 
+  /// Bumped on every mutation (`set_demand`, and `remove` of a present
+  /// occupant); never decreases.  While it holds still, `overcommit()` and
+  /// `miss_rate()` are pure functions of their arguments — which is what
+  /// lets the cost model reuse a memoized rate snapshot.
+  std::uint64_t version() const { return version_; }
+
  private:
+  struct Entry {
+    std::uint64_t occupant;
+    double demand;
+  };
+
+  /// Guard against drift from repeated add/remove of large doubles.
+  void clamp_total() {
+    if (total_demand_ < 0.0) total_demand_ = 0.0;
+  }
+
   double capacity_;
   double total_demand_ = 0.0;
-  std::unordered_map<std::uint64_t, double> demand_;
+  std::uint64_t version_ = 0;
+  std::vector<Entry> demand_;
 };
 
 }  // namespace vprobe::numa

@@ -12,6 +12,9 @@
 // performance-degrading factor.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+
 #include "numa/rate_tracker.hpp"
 #include "sim/time.hpp"
 
@@ -35,7 +38,12 @@ class MemController {
   }
 
   /// Latency multiplier applied to DRAM accesses served by this controller.
-  double latency_factor(sim::Time now) const;
+  /// Defined here so the cost model's per-segment evaluations inline it.
+  double latency_factor(sim::Time now) const {
+    const double rho = std::min(utilization(now), rho_max_);
+    const double factor = 1.0 / (1.0 - rho);
+    return std::min(factor, max_factor_);
+  }
 
   double bandwidth_bytes_per_s() const { return bandwidth_; }
   double total_bytes() const { return total_bytes_; }
@@ -44,7 +52,19 @@ class MemController {
   void set_limits(double rho_max, double max_factor) {
     rho_max_ = rho_max;
     max_factor_ = max_factor;
+    ++limits_version_;
   }
+
+  /// Bumped on every mutation (`record_traffic`, `set_limits`); never
+  /// decreases.  While it holds still, `latency_factor(now)` depends only
+  /// on `now` — and not even on that when `idle()`.
+  std::uint64_t version() const { return tracker_.version() + limits_version_; }
+
+  /// No traffic live in the tracker: `latency_factor()` is exactly 1/(1-0)
+  /// clamped — the same value for any `now`.
+  bool idle() const { return tracker_.idle(); }
+
+  void set_decay_cache(bool enabled) { tracker_.set_decay_cache(enabled); }
 
  private:
   double bandwidth_;
@@ -52,6 +72,7 @@ class MemController {
   double max_factor_ = 8.0;
   RateTracker tracker_;
   double total_bytes_ = 0.0;
+  std::uint64_t limits_version_ = 0;
 };
 
 }  // namespace vprobe::numa

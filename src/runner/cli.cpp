@@ -86,6 +86,7 @@ BenchFlags parse_bench_flags(const Cli& cli, double default_scale) {
   flags.config.sampling_period = sim::Time::seconds(cli.get_double("period", 1.0));
   flags.jobs = cli.get_int("jobs", 1);
   flags.config.checks = cli.has("checks");
+  flags.config.rate_cache = !cli.has("no-rate-cache");
   if (cli.has("json")) {
     const std::string path = cli.get("json", "-");
     flags.json_path = (path == "1") ? "-" : path;
@@ -123,6 +124,9 @@ bool maybe_print_help(const Cli& cli, const char* summary, const char* extra) {
       "  --json PATH      also write results as JSON lines to PATH (- = stdout)\n"
       "  --checks         run the invariant checker on every simulation and\n"
       "                   abort on any violation (VPROBE_CHECKS builds)\n"
+      "  --no-rate-cache  disable the cost-model memoization (results are\n"
+      "                   bit-identical either way; this is the escape hatch\n"
+      "                   differential tests use to prove it)\n"
       "  --help           this text\n");
   if (extra != nullptr && *extra != '\0') {
     std::printf("\n%s\n", extra);

@@ -24,6 +24,7 @@ SchedulerOptions scheduler_options(const RunConfig& config) {
   SchedulerOptions opts;
   opts.sampling_period = config.sampling_period;
   opts.dynamic_bounds = config.dynamic_bounds;
+  opts.rate_cache = config.rate_cache;
   return opts;
 }
 

@@ -23,6 +23,8 @@ struct RunConfig {
   sim::Time sampling_period = sim::Time::sec(1);
   sim::Time horizon = sim::Time::sec(3600);
   bool dynamic_bounds = false;
+  /// Cost-model memoization (bit-identical); --no-rate-cache clears it.
+  bool rate_cache = true;
   /// Use Figure 1's VM memory sizes (VM1/VM2 8 GB, VM3 2 GB) instead of the
   /// Section V-A defaults (15/5/1 GB).
   bool fig1_memory_config = false;

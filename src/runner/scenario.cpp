@@ -85,6 +85,7 @@ std::unique_ptr<hv::Hypervisor> make_hypervisor(
   hv::Hypervisor::Config cfg;
   cfg.machine = machine;
   cfg.seed = seed;
+  cfg.rate_cache = options.rate_cache;
   return std::make_unique<hv::Hypervisor>(cfg, make_scheduler(kind, options));
 }
 

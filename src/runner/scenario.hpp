@@ -36,6 +36,9 @@ std::span<const SchedKind> all_schedulers();
 struct SchedulerOptions {
   sim::Time sampling_period = sim::Time::sec(1);
   bool dynamic_bounds = false;  ///< future-work extension (vProbe family)
+  /// Version-keyed cost-model memoization (bit-identical; see docs/PERF.md).
+  /// false = the --no-rate-cache escape hatch: recompute everything.
+  bool rate_cache = true;
 };
 
 std::unique_ptr<hv::Scheduler> make_scheduler(SchedKind kind,

@@ -32,7 +32,9 @@ Tracer::Tracer(std::size_t capacity) {
 void Tracer::record(sim::Time when, EventKind kind, std::int32_t vcpu,
                     std::int32_t pcpu, std::int32_t aux) {
   ring_[next_] = Record{when, kind, vcpu, pcpu, aux};
-  next_ = (next_ + 1) % ring_.size();
+  // Wrap with a compare instead of %: next_ is always < size, and the
+  // division would be the most expensive instruction on this hot path.
+  if (++next_ == ring_.size()) next_ = 0;
   ++total_;
   ++counts_[static_cast<std::size_t>(kind)];
 }
@@ -43,9 +45,10 @@ std::vector<Record> Tracer::snapshot() const {
       std::min<std::uint64_t>(total_, ring_.size()));
   out.reserve(kept);
   // Oldest retained element sits at next_ when the ring has wrapped.
-  const std::size_t start = total_ > ring_.size() ? next_ : 0;
+  std::size_t idx = total_ > ring_.size() ? next_ : 0;
   for (std::size_t i = 0; i < kept; ++i) {
-    out.push_back(ring_[(start + i) % ring_.size()]);
+    out.push_back(ring_[idx]);
+    if (++idx == ring_.size()) idx = 0;
   }
   return out;
 }

@@ -127,7 +127,27 @@ hv::BurstPlan ComputeThread::next_burst(sim::Time now) {
   plan.profile.miss_sensitivity = profile_->miss_sensitivity;
   plan.profile.working_set_bytes = profile_->working_set_bytes;
   plan.profile.node_fractions = std::span<const double>(frac_buf_.data(), frac_buf_.size());
+  last_executed_ = executed_;
+  last_burst_done_ = burst_done_;
+  last_burst_budget_ = burst_budget_;
+  last_burst_valid_ = true;
   return plan;
+}
+
+bool ComputeThread::burst_unchanged(sim::Time now) {
+  (void)now;
+  // Reuse is claimed only when next_burst(now) would provably return the
+  // exact plan it last returned AND the skipped call has no observable side
+  // effect.  Zero burstiness makes the jitter factor exactly 1.0 regardless
+  // of the private RNG stream position, so the skipped draw is
+  // unobservable; any policy other than first-touch means next_burst()
+  // never mutates placement.  The progress counters pin plan.instructions,
+  // and (unchanged phase, unchanged placement version) pin frac_buf_.
+  return last_burst_valid_ && burstiness_ == 0.0 &&
+         memory_->policy() != numa::PlacementPolicy::kFirstTouch &&
+         executed_ == last_executed_ && burst_done_ == last_burst_done_ &&
+         burst_budget_ == last_burst_budget_ &&
+         memory_->placement_version() == cached_placement_version_;
 }
 
 hv::Outcome ComputeThread::advance(double instructions, sim::Time now) {

@@ -81,6 +81,7 @@ class ComputeThread : public hv::VcpuWork {
   // -- VcpuWork ----------------------------------------------------------------
   hv::BurstPlan next_burst(sim::Time now) override;
   hv::Outcome advance(double instructions, sim::Time now) override;
+  bool burst_unchanged(sim::Time now) override;
 
  protected:
   /// Called when `burst_instructions` have been consumed since the last
@@ -130,6 +131,13 @@ class ComputeThread : public hv::VcpuWork {
   int cached_phase_ = -1;
   std::uint64_t cached_placement_version_ = ~0ull;
   std::array<double, 8> frac_buf_{};
+
+  /// Progress counters as of the last next_burst() — burst_unchanged() may
+  /// only claim reuse while they are exactly where that call left them.
+  double last_executed_ = 0.0;
+  double last_burst_done_ = 0.0;
+  double last_burst_budget_ = 0.0;
+  bool last_burst_valid_ = false;
 };
 
 /// Carve a per-phase sub-region out of `region` (equal slices).

@@ -26,12 +26,12 @@ struct MiniScenario {
 
 /// Build (but do not start) the mini scenario: 2 domains × 6 VCPUs on the
 /// paper's 8-PCPU machine — oversubscribed 1.5×, so run queues are never
-/// trivially empty.
+/// trivially empty.  The options overload lets differential tests flip
+/// scheduler-independent knobs (e.g. `rate_cache`) on the same scenario.
 inline MiniScenario make_mini_scenario(runner::SchedKind kind,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       const runner::SchedulerOptions& opts) {
   MiniScenario sc;
-  runner::SchedulerOptions opts;
-  opts.sampling_period = sim::Time::ms(50);  // several analyzer windows per run
   sc.hv = runner::make_hypervisor(kind, seed, opts);
 
   sc.vm1 = &sc.hv->create_domain("VM1", 2 * kTestGB, 6,
@@ -66,6 +66,13 @@ inline MiniScenario make_mini_scenario(runner::SchedKind kind,
     }
   }
   return sc;
+}
+
+inline MiniScenario make_mini_scenario(runner::SchedKind kind,
+                                       std::uint64_t seed) {
+  runner::SchedulerOptions opts;
+  opts.sampling_period = sim::Time::ms(50);  // several analyzer windows per run
+  return make_mini_scenario(kind, seed, opts);
 }
 
 /// Start the scenario and run for `horizon` of simulated time (the works

@@ -2,6 +2,8 @@
 // migration-matrix analysis, and the integrated page-migration policy.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/page_policy.hpp"
 #include "core/vprobe_sched.hpp"
 #include "runner/scenario.hpp"
@@ -45,6 +47,59 @@ TEST(TracerTest, RingKeepsMostRecent) {
   ASSERT_EQ(events.size(), 4u);
   EXPECT_EQ(events.front().vcpu, 6);  // oldest retained
   EXPECT_EQ(events.back().vcpu, 9);   // newest
+}
+
+// Regression tests for the branch-based ring wrap (the index used to be
+// reduced with `%`): exact-boundary behaviour must be unchanged for any
+// capacity, including the degenerate single-slot ring.
+
+TEST(TracerTest, WrapBoundaryIsExact) {
+  Tracer tracer(4);
+  for (int i = 0; i < 4; ++i) {
+    tracer.record(sim::Time::ms(i), EventKind::kWake, i, 0);
+  }
+  // Exactly full: nothing dropped, oldest still slot 0.
+  EXPECT_EQ(tracer.dropped(), 0u);
+  auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().vcpu, 0);
+  EXPECT_EQ(events.back().vcpu, 3);
+  // One past full: the write lands on slot 0 again and drops one.
+  tracer.record(sim::Time::ms(4), EventKind::kWake, 4, 0);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().vcpu, 1);
+  EXPECT_EQ(events.back().vcpu, 4);
+}
+
+TEST(TracerTest, SmallOddCapacitySurvivesManyWraps) {
+  Tracer tracer(3);
+  for (int i = 0; i < 100; ++i) {
+    tracer.record(sim::Time::us(i), EventKind::kBlock, i, i % 8);
+    // The retained window is always the last min(i+1, 3) records, in order.
+    const auto events = tracer.snapshot();
+    const int want = std::min(i + 1, 3);
+    ASSERT_EQ(events.size(), static_cast<std::size_t>(want)) << i;
+    for (int k = 0; k < want; ++k) {
+      ASSERT_EQ(events[static_cast<std::size_t>(k)].vcpu, i - want + 1 + k)
+          << i;
+    }
+  }
+  EXPECT_EQ(tracer.total_recorded(), 100u);
+  EXPECT_EQ(tracer.dropped(), 97u);
+}
+
+TEST(TracerTest, SingleSlotRingKeepsOnlyNewest) {
+  Tracer tracer(1);
+  for (int i = 0; i < 5; ++i) {
+    tracer.record(sim::Time::ms(i), EventKind::kWake, i, 0);
+    const auto events = tracer.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].vcpu, i);
+  }
+  EXPECT_EQ(tracer.dropped(), 4u);
+  EXPECT_EQ(tracer.count(EventKind::kWake), 5u);
 }
 
 TEST(TracerTest, ClearResets) {
