@@ -455,11 +455,18 @@ void Hypervisor::start_segment(Pcpu& p) {
   // decline) and the VM's page placement has not moved since (guards
   // page migration mid-burst), the call and the node-fraction re-copy are
   // skipped outright; p.burst and p.frac_copy already hold the plan.
+  // burst_unchanged() only ties the next call to the thread's *latest*
+  // plan, so the sequence compare is load-bearing: a VCPU that produced a
+  // newer plan on another PCPU (then left it via a zero-instruction
+  // segment, keeping its progress counters bit-equal) must not be served
+  // this PCPU's older copy on return.
   const bool reuse_burst =
       config_.rate_cache && p.burst_vcpu == v.id() &&
+      p.burst_seq == v.burst_seq &&
       p.burst_placement_version == v.domain()->memory().placement_version() &&
       v.work()->burst_unchanged(now);
   if (!reuse_burst) {
+    ++v.burst_seq;  // the hypervisor owns the only next_burst() call site
     BurstPlan plan = v.work()->next_burst(now);
     // Stabilise the node-fraction span: copy into the PCPU-owned buffer so
     // placement changes mid-segment cannot invalidate it.
@@ -472,6 +479,7 @@ void Hypervisor::start_segment(Pcpu& p) {
         std::span<const double>(p.frac_copy.data(), p.frac_copy.size());
     p.burst = plan;
     p.burst_vcpu = v.id();
+    p.burst_seq = v.burst_seq;
     p.burst_placement_version = v.domain()->memory().placement_version();
   }
   const BurstPlan& plan = p.burst;
@@ -491,6 +499,10 @@ void Hypervisor::start_segment(Pcpu& p) {
                               sim::Time::ns(static_cast<std::int64_t>(
                                   std::min(floor_ns, 9.0e15) + 1.0));
   if (config_.rate_cache && floor_end >= p.slice_end) {
+    // Every caller guarantees a future slice end (start_running uses a
+    // positive slice; end_segment only continues while now < slice_end), so
+    // the clamp cannot schedule the segment event in the past.
+    assert(p.slice_end > now && "slice-clamp fast path needs a future slice end");
     seg_end = p.slice_end;
   } else {
     const double nspi = cost_model_.ns_per_instr_cached(

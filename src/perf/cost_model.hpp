@@ -29,6 +29,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -62,7 +63,13 @@ struct ExecResult {
 class CostModel {
  public:
   CostModel(const numa::MachineConfig& cfg, MachineState& state)
-      : cfg_(cfg), state_(state) {}
+      : cfg_(cfg), state_(state) {
+    // The memo compares at most pmu::kMaxNodes node fractions (the size of
+    // Slot::input_frac and Rates::node_frac); a machine with more nodes
+    // would turn that truncated compare into a silent false-hit source.
+    assert(state_.num_nodes() <= pmu::kMaxNodes &&
+           "CostModel memo supports at most pmu::kMaxNodes NUMA nodes");
+  }
 
   /// Nanoseconds per instruction for `profile` running on `run_node` right
   /// now with the given cache warmth (in [0,1]; extra_cold_miss is added to

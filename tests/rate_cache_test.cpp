@@ -397,6 +397,60 @@ TEST(BurstReuse, ComputeThreadNeverClaimsReuseWithJitterOrFirstTouch) {
   EXPECT_FALSE(steady.burst_unchanged(Time::ms(2)));
 }
 
+TEST(BurstReuse, StalePlanIsNotReusedAfterCrossPcpuBounce) {
+  // Regression: a VCPU caches a plan on PCPU A, advances there, produces a
+  // fresh plan on PCPU B, and leaves B through a zero-instruction segment
+  // (descheduled inside the switch-in stall, so advance(0.0) keeps every
+  // progress counter bit-equal to the latest next_burst snapshot).  Back on
+  // A, burst_unchanged() truthfully reports the *latest* plan would repeat —
+  // but A still holds the older one, stale by everything executed since.
+  // The burst-sequence guard must reject it; without the guard the stale
+  // instruction cap binds and the thread overshoots its total.
+  hv::Hypervisor::Config cfg;
+  cfg.seed = 1;
+  cfg.slice = Time::ms(100);           // whole burst fits in one slice
+  cfg.context_switch_cost = Time::us(50);  // wide zero-work window after switch-in
+  auto hv = std::make_unique<hv::Hypervisor>(
+      cfg, std::make_unique<test::FifoScheduler>());
+  hv::Domain& dom = hv->create_domain("VM1", test::kTestGB, 1,
+                                      numa::PlacementPolicy::kFillFirst, 0);
+  hv::Vcpu& v = dom.vcpu(0);
+  test::FakeWork w;
+  w.total_instructions = 100.0e6;  // pure CPU: ~40 ms of work
+  hv->bind_work(v, w);
+  hv->start();
+
+  const numa::PcpuId pa = 0;
+  const numa::PcpuId pb = 1;
+  v.pin_to(pa);
+  hv->wake(v);
+  hv->engine().run_until(Time::ms(10));
+  ASSERT_EQ(v.state, hv::VcpuState::kRunning);
+  ASSERT_EQ(v.pcpu, pa);
+
+  // Deschedule mid-segment: A keeps its cached plan, now permanently stale.
+  hv->pause_domain(dom);
+  const double executed_on_a = w.executed;
+  ASSERT_GT(executed_on_a, 0.0);
+
+  // One fresh next_burst on B, then deschedule before any work retires.
+  v.pin_to(pb);
+  hv->resume_domain(dom);
+  hv->engine().run_until(Time::ms(10) + Time::us(10));
+  ASSERT_EQ(v.pcpu, pb);
+  hv->pause_domain(dom);
+  ASSERT_EQ(w.executed, executed_on_a) << "segment on B retired work";
+  ASSERT_TRUE(w.burst_unchanged(hv->now()));  // reuse-eligible w.r.t. B's plan
+
+  // Return to A and run to completion: the guard must force a fresh plan.
+  v.pin_to(pa);
+  hv->resume_domain(dom);
+  hv->engine().run_until(Time::ms(300));
+  EXPECT_TRUE(w.finished);
+  EXPECT_LE(w.executed, w.total_instructions + 1.0)
+      << "stale burst plan reused after cross-PCPU bounce";
+}
+
 // ------------------------------------- hypervisor-level integration ----
 
 TEST(RateCacheHypervisor, DestroyDomainTeardownBumpsVersions) {
