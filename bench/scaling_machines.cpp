@@ -1,0 +1,193 @@
+// Fleet scaling: wall-clock cost of the shared-engine cluster as the
+// machine count grows (beyond the paper — vProbe schedules one box; the
+// cluster control plane schedules a fleet of them).
+//
+// Weak scaling: every host gets the same resident population (one hungry
+// burner + one ticker VM admitted through the control plane) plus a
+// fleet-wide churn process, the balancer, and one scripted cross-host live
+// migration (fleets of 2+).  Reported per fleet size: wall-clock ms,
+// fleet-wide trace records, and records per wall-second — the shared
+// engine's throughput as host events interleave.
+//
+// --smoke gates (exit nonzero on violation):
+//   * the 2-host fleet runs to the horizon with zero invariant violations
+//     (FleetCheck: per-host checkers + residency/reservation rules);
+//   * the scripted live migration completes (pre-copy rounds > 0);
+//   * back-to-back runs produce bit-identical fleet digests.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/fleet_check.hpp"
+#include "runner/churn.hpp"
+#include "runner/fleet.hpp"
+#include "trace/digest.hpp"
+
+namespace {
+
+using namespace vprobe;  // NOLINT
+
+struct FleetResult {
+  int hosts = 0;
+  double wall_ms = 0.0;
+  std::uint64_t records = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t precopy_rounds = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t balance_actions = 0;
+  std::uint64_t violations = 0;
+};
+
+FleetResult run_fleet(int num_hosts, std::uint64_t seed, sim::Time horizon) {
+  cluster::Config ccfg;
+  ccfg.seed = seed;
+  ccfg.balance_period = sim::Time::ms(300);
+  ccfg.balance_threshold = 0.2;
+
+  // Heterogeneous fleet: alternate the paper's Xeon with the 4-node box.
+  std::vector<cluster::HostSpec> hosts(static_cast<std::size_t>(num_hosts));
+  for (int id = 0; id < num_hosts; ++id) {
+    if (id % 2 == 1) {
+      hosts[static_cast<std::size_t>(id)].machine =
+          numa::MachineConfig::four_node_server();
+    }
+  }
+  cluster::Cluster fleet(ccfg, hosts,
+                         runner::scheduler_factory(runner::SchedKind::kCredit));
+  cluster::FleetCheck check(fleet);
+
+  // Identical resident population per host: a burner and a ticker.
+  constexpr std::int64_t kMiB = 1024ll * 1024;
+  int mover = -1;
+  for (int id = 0; id < num_hosts; ++id) {
+    cluster::VmSpec burner;
+    burner.name = "burner" + std::to_string(id);
+    burner.mem_bytes = 512 * kMiB;
+    burner.vcpus = 2;
+    burner.host = id;
+    burner.workload = runner::hungry_workload();
+    burner.dirty_bytes_per_s = runner::hungry_dirty_rate(burner.mem_bytes);
+    const int vm = fleet.admit(std::move(burner));
+    if (id == 0) mover = vm;
+
+    cluster::VmSpec ticker;
+    ticker.name = "ticker" + std::to_string(id);
+    ticker.mem_bytes = 256 * kMiB;
+    ticker.vcpus = 2;
+    ticker.host = id;
+    ticker.workload = runner::ticker_workload();
+    ticker.dirty_bytes_per_s = runner::ticker_dirty_rate(ticker.mem_bytes);
+    fleet.admit(std::move(ticker));
+  }
+  fleet.start();
+
+  // One scripted cross-host live migration once the fleet is warm.
+  if (num_hosts > 1 && mover >= 0) {
+    fleet.engine().schedule_at(sim::Time::ms(50),
+                               [&fleet, mover] { fleet.migrate(mover, 1); });
+  }
+
+  runner::ChurnOptions copts;
+  copts.seed = seed;
+  copts.mean_interarrival = sim::Time::ms(30);
+  copts.mean_lifetime = sim::Time::ms(80);
+  copts.max_live = 2 * num_hosts;
+  runner::ChurnDriver churn(fleet, copts);
+  churn.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  runner::run_cluster_until(fleet, nullptr, horizon);
+  const auto t1 = std::chrono::steady_clock::now();
+  churn.drain();
+
+  FleetResult out;
+  out.hosts = num_hosts;
+  out.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
+          .count();
+  for (int id = 0; id < num_hosts; ++id) {
+    out.records += fleet.tracer(id).total_recorded();
+  }
+  out.digest = fleet.fleet_digest();
+  out.migrations_completed = fleet.migrations_completed();
+  out.precopy_rounds = fleet.precopy_rounds();
+  out.admitted = fleet.admitted();
+  out.balance_actions = fleet.balance_actions();
+  out.violations = check.total_violations();
+  return out;
+}
+
+int smoke(std::uint64_t seed) {
+  // 512 MiB over the 1.25 GB/s migration NIC needs ~0.53 s of pre-copy +
+  // cutover; 700 ms covers it with margin.
+  const sim::Time horizon = sim::Time::ms(700);
+  const FleetResult a = run_fleet(2, seed, horizon);
+  const FleetResult b = run_fleet(2, seed, horizon);
+  int failures = 0;
+  auto gate = [&failures](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  gate(a.records > 0, "fleet produced trace events");
+  gate(a.violations == 0, "zero invariant violations (FleetCheck)");
+  gate(a.migrations_completed >= 1, "scripted live migration completed");
+  gate(a.precopy_rounds >= 1, "migration ran pre-copy rounds");
+  gate(a.admitted >= 4, "control plane admitted the fleet + churn VMs");
+  gate(a.digest == b.digest && a.records == b.records,
+       "back-to-back runs are bit-identical (fleet digest)");
+  std::printf("smoke: %s (digest %s, %llu records)\n",
+              failures == 0 ? "PASS" : "FAIL",
+              trace::digest_hex(a.digest).c_str(),
+              static_cast<unsigned long long>(a.records));
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vprobe;  // NOLINT
+
+  runner::Cli cli(argc, argv);
+  if (runner::maybe_print_help(
+          cli, "Fleet scaling: shared-engine throughput vs machine count",
+          "  --smoke             2-host gate run: determinism + invariants\n"
+          "  --horizon S         simulated seconds per fleet (default 0.4)\n"
+          "  --max-hosts N       largest fleet size (default 8)\n")) {
+    return 0;
+  }
+  const std::uint64_t seed = cli.get_u64("seed", 7);
+  if (cli.has("smoke")) return smoke(seed);
+
+  const double horizon_s = cli.get_double("horizon", 0.4);
+  const int max_hosts = cli.get_int("max-hosts", 8);
+
+  std::printf("==============================================================\n");
+  std::printf("Fleet scaling (shared engine, weak scaling: 2 VMs/host + churn)\n");
+  std::printf("==============================================================\n");
+  std::printf("horizon %.2fs simulated per fleet, seed %llu\n\n", horizon_s,
+              static_cast<unsigned long long>(seed));
+
+  stats::Table table({"hosts", "wall (ms)", "records", "records/s wall",
+                      "admitted", "migrations", "balance", "digest"});
+  for (int n = 1; n <= max_hosts; n *= 2) {
+    const FleetResult r = run_fleet(n, seed, sim::Time::seconds(horizon_s));
+    table.add_row(
+        {std::to_string(r.hosts), stats::fmt(r.wall_ms, "%.1f"),
+         std::to_string(r.records),
+         stats::fmt(r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.records) / r.wall_ms
+                                  : 0.0,
+                    "%.0f"),
+         std::to_string(r.admitted), std::to_string(r.migrations_completed),
+         std::to_string(r.balance_actions), trace::digest_hex(r.digest)});
+    if (r.violations != 0) {
+      std::fprintf(stderr, "warning: %llu invariant violations at %d hosts\n",
+                   static_cast<unsigned long long>(r.violations), r.hosts);
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -19,9 +19,14 @@ using namespace vprobe;
 int main(int argc, char** argv) {
   const runner::Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.15);
-  const runner::SchedKind kind = cli.get("sched", "vprobe") == "credit"
-                                     ? runner::SchedKind::kCredit
-                                     : runner::SchedKind::kVprobe;
+  const std::string sched_name = cli.get("sched", "vprobe");
+  const auto parsed = runner::sched_from_name(sched_name);
+  if (!parsed) {
+    std::fprintf(stderr, "unknown --sched '%s' (valid: %s)\n",
+                 sched_name.c_str(), runner::valid_sched_names().c_str());
+    return 2;  // same exit convention as the bench binaries
+  }
+  const runner::SchedKind kind = *parsed;
 
   auto hv = runner::make_hypervisor(kind, cli.get_u64("seed", 1));
   trace::Tracer tracer(1 << 20);

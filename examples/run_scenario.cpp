@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
           cli, "Run a scenario file (built-in demo when no file is given)",
           "  <file.scn>       positional: scenario file to run\n"
           "  --repeats N      average over N seeds (default 1; seeds from"
-          " the scenario's base seed)"))
+          " the scenario's base seed)\n"
+          "  --hosts-csv F    cluster scenarios: per-host metrics to F"))
     return 0;
 
   std::string text;
@@ -91,6 +92,10 @@ int main(int argc, char** argv) {
   opts.progress = opts.jobs != 1;
   const stats::RunMetrics m = runner::execute_plan(plan, opts).front();
 
+  if (cli.has("hosts-csv")) {
+    stats::write_host_csv(cli.get("hosts-csv", "hosts.csv"), m);
+  }
+
   if (cli.has("json")) {
     std::printf("%s\n", stats::to_json(m).c_str());
     return m.completed ? 0 : 2;
@@ -109,5 +114,30 @@ int main(int argc, char** argv) {
       m.avg_runtime_s, m.remote_access_ratio() * 100.0,
       static_cast<unsigned long long>(m.cross_node_migrations),
       m.overhead_fraction * 100.0);
+
+  if (m.is_cluster_run()) {
+    std::printf("\n");
+    stats::Table hosts({"host", "machine", "domains", "vcpus", "busy (s)",
+                        "migrations", "trace digest"});
+    for (const auto& h : m.hosts) {
+      hosts.add_row({h.name, h.machine, std::to_string(h.domains),
+                     std::to_string(h.vcpus), stats::fmt(h.busy_s, "%.3f"),
+                     std::to_string(h.migrations),
+                     stats::hex_digest(h.trace_digest)});
+    }
+    hosts.print();
+    std::printf(
+        "\ncluster: %llu admitted, %llu rejected | migrations %llu started,"
+        " %llu completed (%llu pre-copy rounds, %.1f MiB moved) | %llu"
+        " balance actions | fleet digest %s\n",
+        static_cast<unsigned long long>(m.cluster.admitted),
+        static_cast<unsigned long long>(m.cluster.rejected),
+        static_cast<unsigned long long>(m.cluster.migrations_started),
+        static_cast<unsigned long long>(m.cluster.migrations_completed),
+        static_cast<unsigned long long>(m.cluster.precopy_rounds),
+        m.cluster.migrated_bytes / (1024.0 * 1024.0),
+        static_cast<unsigned long long>(m.cluster.balance_actions),
+        stats::hex_digest(m.cluster.fleet_digest).c_str());
+  }
   return m.completed ? 0 : 2;
 }

@@ -11,12 +11,13 @@ cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
-echo "== labelled suites (golden, differential, engine, churn, costmodel) =="
+echo "== labelled suites (golden, differential, engine, churn, costmodel, cluster) =="
 ctest --test-dir build -L golden --output-on-failure
 ctest --test-dir build -L differential --output-on-failure
 ctest --test-dir build -L engine --output-on-failure
 ctest --test-dir build -L churn --output-on-failure
 ctest --test-dir build -L costmodel --output-on-failure
+ctest --test-dir build -L cluster --output-on-failure
 
 echo "== engine hot-path smoke (zero steady-state allocations gate) =="
 ./build/bench/engine_bench --smoke
@@ -26,6 +27,9 @@ echo "== cost-model memo smoke (bit-identity + hit-rate + lookup-count gate) =="
 
 echo "== lifecycle churn fuzzer smoke (invariants under create/destroy/pause) =="
 ./build/tests/churn_fuzz_test --smoke
+
+echo "== fleet scaling smoke (cluster determinism + live migration + FleetCheck) =="
+./build/bench/scaling_machines --smoke
 
 echo "== tsan preset: parallel-executor tests under ThreadSanitizer =="
 cmake --preset tsan

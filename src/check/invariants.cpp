@@ -25,10 +25,12 @@ std::string describe(const hv::Vcpu& v) {
 
 InvariantChecker::~InvariantChecker() { detach(); }
 
-void InvariantChecker::attach(hv::Hypervisor& hv) {
+void InvariantChecker::attach(hv::Hypervisor& hv) { attach(hv, true); }
+
+void InvariantChecker::attach(hv::Hypervisor& hv, bool engine_observer) {
   detach();
   hv_ = &hv;
-  hv.engine().set_observer(this);
+  if (engine_observer) hv.engine().set_observer(this);
   hv.set_observer(this);
 }
 
@@ -56,6 +58,7 @@ void InvariantChecker::report(std::string what) {
   ++total_violations_;
   if (violations_.size() < cfg_.max_violations) {
     sim::Time when = hv_ != nullptr ? hv_->now() : sim::Time::zero();
+    if (!scope_.empty()) what = "[" + scope_ + "] " + what;
     violations_.push_back(Violation{std::move(what), when});
   }
 }

@@ -77,7 +77,17 @@ class InvariantChecker final : public sim::Engine::Observer,
   /// checker must outlive the hypervisor or detach() first; declare it
   /// before the hypervisor (or call detach()) in owning scopes.
   void attach(hv::Hypervisor& hv);
+  /// Per-machine attachment for fleets sharing one engine: the engine has a
+  /// single observer slot, so exactly one host's checker passes
+  /// `engine_observer = true`; the others still get every HvObserver hook
+  /// (credit/page/byte conservation per host).
+  void attach(hv::Hypervisor& hv, bool engine_observer);
   void detach();
+
+  /// Label prefixed to every violation ("[host0] ..."), so a fleet of
+  /// checkers stays attributable per machine.
+  void set_scope(std::string scope) { scope_ = std::move(scope); }
+  const std::string& scope() const { return scope_; }
 
   /// One-shot full sweep (run queues, credits, memory) of the attached
   /// hypervisor — usable even in builds without VPROBE_CHECKS hooks.
@@ -114,6 +124,7 @@ class InvariantChecker final : public sim::Engine::Observer,
 
   Config cfg_{};
   hv::Hypervisor* hv_ = nullptr;
+  std::string scope_;
   bool have_last_event_ = false;
   sim::Time last_event_time_ = sim::Time::zero();
   std::uint64_t last_event_seq_ = 0;

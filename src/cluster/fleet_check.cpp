@@ -1,0 +1,129 @@
+#include "cluster/fleet_check.hpp"
+
+#include <stdexcept>
+
+#include "cluster/cluster.hpp"
+
+namespace vprobe::cluster {
+
+FleetCheck::FleetCheck(Cluster& cluster) : cluster_(&cluster) {
+  checkers_.reserve(static_cast<std::size_t>(cluster.num_hosts()));
+  for (int id = 0; id < cluster.num_hosts(); ++id) {
+    auto checker = std::make_unique<check::InvariantChecker>();
+    checker->set_scope(cluster.host_name(id));
+    // One engine, one observer slot: host 0's checker watches event-time
+    // monotonicity for the whole fleet.
+    checker->attach(cluster.host(id), /*engine_observer=*/id == 0);
+    checkers_.push_back(std::move(checker));
+  }
+  cluster.set_check(this);
+}
+
+FleetCheck::~FleetCheck() {
+  if (cluster_ != nullptr) cluster_->set_check(nullptr);
+  for (auto& checker : checkers_) checker->detach();
+}
+
+void FleetCheck::on_transition(Cluster& cluster) {
+  // Residency: each admitted VM's name resolves to exactly one domain in
+  // the whole fleet, and on the host the control plane records.  This holds
+  // even mid-migration — pre-copy leaves the domain on the source, and the
+  // cutover event destroys the source incarnation before creating the
+  // destination one.
+  const auto views = cluster.vms();
+  for (const auto& vm : views) {
+    int resident_hosts = 0;
+    bool on_recorded_host = false;
+    for (int id = 0; id < cluster.num_hosts(); ++id) {
+      bool found = false;
+      for (const auto& dom : cluster.host(id).domains()) {
+        if (dom->name() == vm.name) {
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        ++resident_hosts;
+        if (id == vm.host) on_recorded_host = true;
+      }
+    }
+    if (resident_hosts != 1 || !on_recorded_host) {
+      report(cluster, "vm '" + vm.name + "' resident on " +
+                          std::to_string(resident_hosts) +
+                          " hosts (recorded host " + std::to_string(vm.host) +
+                          (vm.migrating ? ", migrating to " +
+                                              std::to_string(vm.dst_host)
+                                        : "") +
+                          ")");
+    }
+  }
+  // Reservations: inbound-migration reservations are non-negative
+  // everywhere and zero on hosts no in-flight migration targets.
+  for (int id = 0; id < cluster.num_hosts(); ++id) {
+    const std::int64_t reserved = cluster.reserved_chunks(id);
+    bool inbound = false;
+    for (const auto& vm : views) {
+      if (vm.migrating && vm.dst_host == id) {
+        inbound = true;
+        break;
+      }
+    }
+    if (reserved < 0 || (!inbound && reserved != 0)) {
+      report(cluster, "host " + std::to_string(id) +
+                          " reservation out of balance: " +
+                          std::to_string(reserved) + " chunks, " +
+                          (inbound ? "with" : "no") + " inbound migration");
+    }
+  }
+}
+
+bool FleetCheck::ok() const {
+  if (cluster_total_ != 0) return false;
+  for (const auto& checker : checkers_) {
+    if (!checker->ok()) return false;
+  }
+  return true;
+}
+
+std::vector<check::Violation> FleetCheck::violations() const {
+  std::vector<check::Violation> out;
+  for (const auto& checker : checkers_) {
+    out.insert(out.end(), checker->violations().begin(),
+               checker->violations().end());
+  }
+  out.insert(out.end(), cluster_violations_.begin(), cluster_violations_.end());
+  return out;
+}
+
+std::uint64_t FleetCheck::total_violations() const {
+  std::uint64_t total = cluster_total_;
+  for (const auto& checker : checkers_) total += checker->total_violations();
+  return total;
+}
+
+void FleetCheck::expect_ok() {
+  for (auto& checker : checkers_) checker->check_now();
+  if (cluster_ != nullptr) on_transition(*cluster_);
+  if (ok()) return;
+  std::string msg = "fleet invariant violations (" +
+                    std::to_string(total_violations()) + " total):";
+  std::size_t listed = 0;
+  for (const auto& v : violations()) {
+    if (listed++ == 8) {
+      msg += "\n  ...";
+      break;
+    }
+    msg += "\n  [" + v.when.str() + "] " + v.what;
+  }
+  throw std::runtime_error(msg);
+}
+
+void FleetCheck::report(const Cluster& cluster, std::string what) {
+  ++cluster_total_;
+  if (cluster_violations_.size() < 64) {
+    cluster_violations_.push_back(
+        {"[cluster] " + std::move(what), cluster.now()});
+  }
+}
+
+}  // namespace vprobe::cluster

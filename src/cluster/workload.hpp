@@ -1,0 +1,36 @@
+// Type-erased guest workload handle for the cluster control plane.
+//
+// The cluster must be able to stop a VM's guest threads on the source host
+// and rebuild them on the destination after a live migration, without
+// depending on the concrete workload types in src/workload (which would
+// invert the library layering).  A WorkloadFactory captures "how to boot
+// this VM's software" and is re-invoked against the new domain on cutover.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+namespace vprobe::hv {
+class Hypervisor;
+class Domain;
+}  // namespace vprobe::hv
+
+namespace vprobe::cluster {
+
+/// One VM's running guest software.  start() wakes/boots the guest
+/// threads; stop() retires them cleanly so the domain can be destroyed.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual void start() = 0;
+  virtual void stop() = 0;
+};
+
+/// Builds a fresh workload bound to `dom` on `hv` — called at admission and
+/// again on the destination host when a live migration rebinds the VM.  A
+/// VM without a factory cannot be live-migrated (its guest state is opaque
+/// to the control plane).
+using WorkloadFactory = std::function<std::unique_ptr<Workload>(
+    hv::Hypervisor& hv, hv::Domain& dom)>;
+
+}  // namespace vprobe::cluster

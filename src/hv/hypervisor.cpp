@@ -21,7 +21,17 @@ const char* to_string(OverheadBucket bucket) {
 }
 
 Hypervisor::Hypervisor(Config config, std::unique_ptr<Scheduler> scheduler)
+    : Hypervisor(std::move(config), std::move(scheduler), nullptr) {}
+
+Hypervisor::Hypervisor(Config config, std::unique_ptr<Scheduler> scheduler,
+                       sim::Engine& shared_engine)
+    : Hypervisor(std::move(config), std::move(scheduler), &shared_engine) {}
+
+Hypervisor::Hypervisor(Config config, std::unique_ptr<Scheduler> scheduler,
+                       sim::Engine* shared)
     : config_(config),
+      owned_engine_(shared != nullptr ? nullptr : std::make_unique<sim::Engine>()),
+      engine_(shared != nullptr ? *shared : *owned_engine_),
       rng_(config.seed),
       topology_(config.machine),
       memory_manager_(config.machine),
@@ -41,8 +51,23 @@ Hypervisor::Hypervisor(Config config, std::unique_ptr<Scheduler> scheduler)
 }
 
 Hypervisor::~Hypervisor() {
-  // Events may hold references into pcpus/domains; drop them first.
-  engine_.clear();
+  if (owned_engine_ != nullptr) {
+    // Events may hold references into pcpus/domains; drop them first.
+    engine_.clear();
+    return;
+  }
+  // Shared engine: other hosts' events must survive, so cancel only the
+  // handles this host owns.  Zero-delay poke/preempt lambdas capture raw
+  // pointers and have no handle here — the fleet owner is required to
+  // Engine::clear() before destroying any host (Cluster's destructor does).
+  for (sim::EventHandle& timer : tick_timers_) timer.cancel();
+  accounting_timer_.cancel();
+  for (Pcpu& p : pcpus_) p.segment_event.cancel();
+  for (const auto& dom : domains_) {
+    for (std::size_t i = 0; i < dom->num_vcpus(); ++i) {
+      dom->vcpu(i).wake_timer.cancel();
+    }
+  }
 }
 
 Domain& Hypervisor::create_domain(const std::string& name,

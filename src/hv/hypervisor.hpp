@@ -56,9 +56,21 @@ class Hypervisor {
     /// `false` (the --no-rate-cache escape hatch) recomputes everything so
     /// differential tests can prove it.
     bool rate_cache = true;
+    /// Which machine of a fleet this is (cluster runs); purely a label for
+    /// traces/logs — per-host behaviour is driven by `machine` and `seed`.
+    int host_id = 0;
   };
 
+  /// Single-machine mode: the hypervisor owns a private engine (the
+  /// pre-cluster behaviour, byte-identical event streams).
   Hypervisor(Config config, std::unique_ptr<Scheduler> scheduler);
+  /// Fleet mode: N hypervisors share one engine (one simulated clock, one
+  /// deterministic event order across hosts).  The engine must outlive the
+  /// hypervisor, and the owner must Engine::clear() before destroying any
+  /// host sharing it — events may hold references into this host's state
+  /// that per-host teardown cannot cancel (see ~Hypervisor).
+  Hypervisor(Config config, std::unique_ptr<Scheduler> scheduler,
+             sim::Engine& shared_engine);
   ~Hypervisor();
   Hypervisor(const Hypervisor&) = delete;
   Hypervisor& operator=(const Hypervisor&) = delete;
@@ -133,6 +145,9 @@ class Hypervisor {
 
   sim::Engine& engine() { return engine_; }
   sim::Time now() const { return engine_.now(); }
+  /// True in single-machine mode (the engine dies with this hypervisor).
+  bool owns_engine() const { return owned_engine_ != nullptr; }
+  int host_id() const { return config_.host_id; }
   sim::Rng& rng() { return rng_; }
   const Config& config() const { return config_; }
   const numa::Topology& topology() const { return topology_; }
@@ -192,6 +207,10 @@ class Hypervisor {
   std::uint64_t total_cross_node_migrations() const;
 
  private:
+  /// Shared tail of both public constructors; `shared` null = owned engine.
+  Hypervisor(Config config, std::unique_ptr<Scheduler> scheduler,
+             sim::Engine* shared);
+
   void schedule_pcpu(Pcpu& pcpu);
   void start_running(Pcpu& pcpu, Vcpu& vcpu, sim::Time slice);
   void start_segment(Pcpu& pcpu);
@@ -212,7 +231,12 @@ class Hypervisor {
   void on_accounting();
 
   Config config_;
-  sim::Engine engine_;
+  /// Single-machine mode owns its engine; fleet mode references a shared
+  /// one.  All mechanics go through the reference, so both modes run the
+  /// exact same code (and the owned mode the exact same event streams as
+  /// before the cluster refactor).
+  std::unique_ptr<sim::Engine> owned_engine_;
+  sim::Engine& engine_;
   sim::Rng rng_;
   numa::Topology topology_;
   numa::MemoryManager memory_manager_;

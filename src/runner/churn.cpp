@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "cluster/cluster.hpp"
+#include "runner/fleet.hpp"
 #include "runner/scenario.hpp"
 #include "sim/log.hpp"
 
@@ -16,6 +18,28 @@ ChurnDriver::ChurnDriver(hv::Hypervisor& hv, ChurnOptions options)
       std::max(hv.config().machine.chunk_bytes, options_.min_mem_bytes);
   options_.max_mem_bytes =
       std::max(options_.min_mem_bytes, options_.max_mem_bytes);
+}
+
+ChurnDriver::ChurnDriver(cluster::Cluster& cluster, ChurnOptions options)
+    : hv_(nullptr),
+      cluster_(&cluster),
+      options_(options),
+      rng_(options.seed ^ 0xc4ceb9fe1a85ec53ull) {
+  options_.min_vcpus = std::max(1, options_.min_vcpus);
+  options_.max_vcpus = std::max(options_.min_vcpus, options_.max_vcpus);
+  // Round against the coarsest chunk size in the fleet so a drawn size is
+  // chunk-aligned on every candidate host.
+  std::int64_t chunk = 1;
+  for (int id = 0; id < cluster.num_hosts(); ++id) {
+    chunk = std::max(chunk, cluster.host(id).config().machine.chunk_bytes);
+  }
+  options_.min_mem_bytes = std::max(chunk, options_.min_mem_bytes);
+  options_.max_mem_bytes =
+      std::max(options_.min_mem_bytes, options_.max_mem_bytes);
+}
+
+sim::Engine& ChurnDriver::engine() {
+  return cluster_ != nullptr ? cluster_->engine() : hv_->engine();
 }
 
 ChurnDriver::~ChurnDriver() {
@@ -33,8 +57,8 @@ sim::Time ChurnDriver::exp_delay(sim::Time mean) {
 }
 
 void ChurnDriver::start() {
-  arrival_event_ = hv_->engine().schedule(options_.start_after,
-                                          [this] { schedule_next_arrival(); });
+  arrival_event_ = engine().schedule(options_.start_after,
+                                     [this] { schedule_next_arrival(); });
 }
 
 void ChurnDriver::schedule_next_arrival() {
@@ -43,8 +67,8 @@ void ChurnDriver::schedule_next_arrival() {
       arrivals_ + skipped_ >= static_cast<std::uint64_t>(options_.max_arrivals)) {
     return;
   }
-  arrival_event_ = hv_->engine().schedule(
-      exp_delay(options_.mean_interarrival), [this] { on_arrival(); });
+  arrival_event_ = engine().schedule(exp_delay(options_.mean_interarrival),
+                                     [this] { on_arrival(); });
 }
 
 void ChurnDriver::on_arrival() {
@@ -56,6 +80,53 @@ void ChurnDriver::on_arrival() {
 
   const int vcpus = static_cast<int>(
       rng_.uniform_int(options_.min_vcpus, options_.max_vcpus));
+
+  if (cluster_ != nullptr) {
+    // Fleet mode: round against the coarsest chunk (see the constructor),
+    // draw the guest flavour, and let the control plane place or reject.
+    std::int64_t chunk = 1;
+    for (int id = 0; id < cluster_->num_hosts(); ++id) {
+      chunk = std::max(chunk, cluster_->host(id).config().machine.chunk_bytes);
+    }
+    std::int64_t cmem = rng_.uniform_int(options_.min_mem_bytes,
+                                         options_.max_mem_bytes);
+    cmem = std::max(chunk, (cmem / chunk) * chunk);
+    const bool ticker = rng_.chance(options_.ticker_fraction);
+
+    cluster::VmSpec cvm;
+    cvm.name = "churn" + std::to_string(next_churn_index_);
+    cvm.mem_bytes = cmem;
+    cvm.vcpus = vcpus;
+    cvm.workload = ticker ? ticker_workload() : hungry_workload();
+    cvm.dirty_bytes_per_s =
+        ticker ? ticker_dirty_rate(cmem) : hungry_dirty_rate(cmem);
+    const int vm_id = cluster_->admit(std::move(cvm));
+    if (vm_id < 0) {
+      ++skipped_;
+      return;
+    }
+    ++next_churn_index_;
+    ++arrivals_;
+
+    auto vm = std::make_unique<LiveVm>();
+    vm->domain_id = vm_id;
+    const sim::Time lifetime = exp_delay(options_.mean_lifetime);
+    vm->depart_event =
+        engine().schedule(lifetime, [this, vm_id] { depart(vm_id); });
+    if (rng_.chance(options_.pause_probability)) {
+      const sim::Time at = sim::Time::seconds(
+          rng_.uniform(0.1, 0.5) * options_.mean_lifetime.to_seconds());
+      vm->pause_event =
+          engine().schedule(at, [this, vm_id] { pause_vm(vm_id); });
+    }
+    VPROBE_CLOG(engine().log(), sim::LogLevel::kDebug, "churn",
+                "arrive vm %d on host %d (%d vcpus, %lld MiB), live %zu",
+                vm_id, cluster_->host_of(vm_id), vcpus,
+                static_cast<long long>(cmem >> 20), live_.size() + 1);
+    live_.push_back(std::move(vm));
+    return;
+  }
+
   const std::int64_t chunk = hv_->config().machine.chunk_bytes;
   std::int64_t mem = rng_.uniform_int(options_.min_mem_bytes,
                                       options_.max_mem_bytes);
@@ -115,6 +186,17 @@ ChurnDriver::LiveVm* ChurnDriver::find_live(int domain_id) {
 }
 
 void ChurnDriver::depart(int domain_id) {
+  if (cluster_ != nullptr) {
+    LiveVm* vm = find_live(domain_id);
+    if (vm == nullptr) return;
+    vm->pause_event.cancel();
+    vm->resume_event.cancel();
+    cluster_->destroy(domain_id);
+    ++departures_;
+    live_.erase(std::find_if(live_.begin(), live_.end(),
+                             [&](const auto& p) { return p.get() == vm; }));
+    return;
+  }
   LiveVm* vm = find_live(domain_id);
   hv::Domain* dom = hv_->find_domain(domain_id);
   if (vm == nullptr || dom == nullptr) return;
@@ -134,21 +216,33 @@ void ChurnDriver::depart(int domain_id) {
 
 void ChurnDriver::pause_vm(int domain_id) {
   LiveVm* vm = find_live(domain_id);
-  hv::Domain* dom = hv_->find_domain(domain_id);
-  if (vm == nullptr || dom == nullptr || vm->paused) return;
-  hv_->pause_domain(*dom);
+  if (vm == nullptr || vm->paused) return;
+  if (cluster_ != nullptr) {
+    // The control plane refuses to pause a VM mid-migration; in that case
+    // the pause is simply dropped (the VM keeps running).
+    if (!cluster_->pause(domain_id)) return;
+  } else {
+    hv::Domain* dom = hv_->find_domain(domain_id);
+    if (dom == nullptr) return;
+    hv_->pause_domain(*dom);
+  }
   vm->paused = true;
   ++pauses_;
   const int id = domain_id;
-  vm->resume_event = hv_->engine().schedule(exp_delay(options_.mean_pause),
-                                            [this, id] { resume_vm(id); });
+  vm->resume_event = engine().schedule(exp_delay(options_.mean_pause),
+                                       [this, id] { resume_vm(id); });
 }
 
 void ChurnDriver::resume_vm(int domain_id) {
   LiveVm* vm = find_live(domain_id);
-  hv::Domain* dom = hv_->find_domain(domain_id);
-  if (vm == nullptr || dom == nullptr || !vm->paused) return;
-  hv_->resume_domain(*dom);
+  if (vm == nullptr || !vm->paused) return;
+  if (cluster_ != nullptr) {
+    if (!cluster_->resume(domain_id)) return;
+  } else {
+    hv::Domain* dom = hv_->find_domain(domain_id);
+    if (dom == nullptr) return;
+    hv_->resume_domain(*dom);
+  }
   vm->paused = false;
   ++resumes_;
 }

@@ -18,6 +18,10 @@
 #include "workload/hungry.hpp"
 #include "workload/os_ticker.hpp"
 
+namespace vprobe::cluster {
+class Cluster;
+}  // namespace vprobe::cluster
+
 namespace vprobe::runner {
 
 struct ChurnOptions {
@@ -53,6 +57,12 @@ struct ChurnOptions {
 class ChurnDriver {
  public:
   ChurnDriver(hv::Hypervisor& hv, ChurnOptions options);
+  /// Fleet mode: arrivals go through the cluster control plane (admission
+  /// filter + placement pick the host; rejections count as skipped()), and
+  /// churn guests are rebindable so the balancer may live-migrate them.
+  /// The single-machine constructor's draw order is untouched, so existing
+  /// churn golden digests hold.
+  ChurnDriver(cluster::Cluster& cluster, ChurnOptions options);
   ~ChurnDriver();
   ChurnDriver(const ChurnDriver&) = delete;
   ChurnDriver& operator=(const ChurnDriver&) = delete;
@@ -74,8 +84,9 @@ class ChurnDriver {
   std::uint64_t skipped() const { return skipped_; }
 
  private:
-  /// One churn VM currently alive.  Tracked by domain id, never by Domain*
-  /// or position — the hypervisor's domain list shifts under churn.
+  /// One churn VM currently alive.  Tracked by domain id (cluster mode:
+  /// the cluster-wide VM id), never by Domain* or position — the
+  /// hypervisor's domain list shifts under churn.
   struct LiveVm {
     int domain_id = 0;
     std::unique_ptr<wl::HungryLoops> hungry;
@@ -93,8 +104,10 @@ class ChurnDriver {
   void resume_vm(int domain_id);
   LiveVm* find_live(int domain_id);
   sim::Time exp_delay(sim::Time mean);
+  sim::Engine& engine();
 
-  hv::Hypervisor* hv_;
+  hv::Hypervisor* hv_;                    ///< single-machine mode
+  cluster::Cluster* cluster_ = nullptr;   ///< fleet mode
   ChurnOptions options_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<LiveVm>> live_;

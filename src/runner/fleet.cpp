@@ -1,0 +1,87 @@
+#include "runner/fleet.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "workload/hungry.hpp"
+#include "workload/os_ticker.hpp"
+
+namespace vprobe::runner {
+namespace {
+
+class HungryWorkload final : public cluster::Workload {
+ public:
+  HungryWorkload(hv::Hypervisor& hv, hv::Domain& dom) {
+    const auto vcpus = domain_vcpus(dom);
+    app_ = std::make_unique<wl::HungryLoops>(
+        hv, dom, std::span<hv::Vcpu* const>(vcpus));
+  }
+  void start() override { app_->start(); }
+  void stop() override { app_->stop(); }
+
+ private:
+  std::unique_ptr<wl::HungryLoops> app_;
+};
+
+class TickerWorkload final : public cluster::Workload {
+ public:
+  TickerWorkload(hv::Hypervisor& hv, hv::Domain& dom) {
+    const auto vcpus = domain_vcpus(dom);
+    app_ = std::make_unique<wl::GuestOsTicks>(
+        hv, dom, std::span<hv::Vcpu* const>(vcpus));
+  }
+  void start() override { app_->start(); }
+  void stop() override { app_->stop(); }
+
+ private:
+  std::unique_ptr<wl::GuestOsTicks> app_;
+};
+
+}  // namespace
+
+cluster::WorkloadFactory hungry_workload() {
+  return [](hv::Hypervisor& hv, hv::Domain& dom) {
+    return std::make_unique<HungryWorkload>(hv, dom);
+  };
+}
+
+cluster::WorkloadFactory ticker_workload() {
+  return [](hv::Hypervisor& hv, hv::Domain& dom) {
+    return std::make_unique<TickerWorkload>(hv, dom);
+  };
+}
+
+double hungry_dirty_rate(std::int64_t mem_bytes) {
+  // A CPU burner re-touches roughly a quarter of its memory per second —
+  // enough that pre-copy needs a few rounds but converges geometrically
+  // for the churn-sized (<= a few GB) VMs that actually migrate.
+  return 0.25 * static_cast<double>(mem_bytes);
+}
+
+double ticker_dirty_rate(std::int64_t mem_bytes) {
+  // Housekeeping dirties a small fixed set (timer pages, run queues),
+  // independent of VM size.
+  return std::min(static_cast<double>(mem_bytes), 16.0 * 1024 * 1024);
+}
+
+cluster::SchedulerFactory scheduler_factory(SchedKind kind,
+                                            SchedulerOptions options) {
+  return [kind, options](int /*host_id*/) {
+    return make_scheduler(kind, options);
+  };
+}
+
+bool run_cluster_until(cluster::Cluster& cluster,
+                       const std::function<bool()>& done, sim::Time horizon,
+                       sim::Time step) {
+  sim::Engine& engine = cluster.engine();
+  while (engine.now() < horizon) {
+    if (done && done()) return true;
+    engine.run_until(std::min(engine.now() + step, horizon));
+  }
+  return done ? done() : true;
+}
+
+}  // namespace vprobe::runner

@@ -1,0 +1,40 @@
+// Fleet plumbing: adapters that let the runner drive a cluster::Cluster —
+// rebindable workload factories for the background guests (so the control
+// plane can live-migrate them), a per-host scheduler factory over the
+// SchedKind registry, and the engine-stepping loop for multi-machine runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cluster/cluster.hpp"
+#include "runner/scenario.hpp"
+
+namespace vprobe::runner {
+
+/// Workload factory running hungry loops on every VCPU of the domain
+/// (rebuilt from scratch on the destination host after a live migration).
+cluster::WorkloadFactory hungry_workload();
+
+/// Workload factory running guest-OS housekeeping ticks on every VCPU.
+cluster::WorkloadFactory ticker_workload();
+
+/// Pre-copy dirty-rate estimates for those workloads, from the VM size:
+/// CPU burners touch a working set proportional to their memory; tickers
+/// dirty a small, size-independent housekeeping set.
+double hungry_dirty_rate(std::int64_t mem_bytes);
+double ticker_dirty_rate(std::int64_t mem_bytes);
+
+/// Per-host scheduler factory: every host gets its own fresh instance of
+/// the same scheduler kind (scheduler state is per-machine).
+cluster::SchedulerFactory scheduler_factory(SchedKind kind,
+                                            SchedulerOptions options = {});
+
+/// Drive the cluster's shared engine until `done()` or `horizon`, checking
+/// every `step`; a null `done` runs straight to the horizon.  Returns true
+/// when `done()` became true in time (or on horizon for a null `done`).
+bool run_cluster_until(cluster::Cluster& cluster,
+                       const std::function<bool()>& done, sim::Time horizon,
+                       sim::Time step = sim::Time::ms(100));
+
+}  // namespace vprobe::runner

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <stdexcept>
+#include <utility>
 
 #include "core/autonuma_sched.hpp"
 #include "core/brm_sched.hpp"
@@ -24,17 +25,38 @@ const char* to_string(SchedKind kind) {
   return "?";
 }
 
+namespace {
+
+/// The scenario-file spellings, in all_schedulers() order; the single
+/// source for both parsing and error listings.
+constexpr std::array<std::pair<std::string_view, SchedKind>, 6> kSchedNames{{
+    {"credit", SchedKind::kCredit},
+    {"vprobe", SchedKind::kVprobe},
+    {"vcpu_p", SchedKind::kVcpuP},
+    {"lb", SchedKind::kLb},
+    {"brm", SchedKind::kBrm},
+    {"autonuma", SchedKind::kAutoNuma},
+}};
+
+}  // namespace
+
 std::optional<SchedKind> sched_from_name(std::string_view name) {
   for (SchedKind kind : all_schedulers()) {
     if (name == to_string(kind)) return kind;
   }
-  if (name == "credit") return SchedKind::kCredit;
-  if (name == "vprobe") return SchedKind::kVprobe;
-  if (name == "vcpu_p") return SchedKind::kVcpuP;
-  if (name == "lb") return SchedKind::kLb;
-  if (name == "brm") return SchedKind::kBrm;
-  if (name == "autonuma") return SchedKind::kAutoNuma;
+  for (const auto& [spelling, kind] : kSchedNames) {
+    if (name == spelling) return kind;
+  }
   return std::nullopt;
+}
+
+std::string valid_sched_names() {
+  std::string out;
+  for (const auto& [spelling, kind] : kSchedNames) {
+    if (!out.empty()) out += ", ";
+    out += spelling;
+  }
+  return out;
 }
 
 std::span<const SchedKind> paper_schedulers() {

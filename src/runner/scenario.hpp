@@ -27,6 +27,10 @@ const char* to_string(SchedKind kind);
 /// to_string().  Empty optional when unknown.
 std::optional<SchedKind> sched_from_name(std::string_view name);
 
+/// Comma-separated list of every accepted scheduler spelling, for error
+/// messages ("credit, vprobe, vcpu_p, lb, brm, autonuma").
+std::string valid_sched_names();
+
 /// The paper's five, in its legend order.
 std::span<const SchedKind> paper_schedulers();
 

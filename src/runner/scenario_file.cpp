@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cluster/cluster.hpp"
+#include "runner/fleet.hpp"
 #include "workload/hungry.hpp"
 #include "workload/npb.hpp"
 #include "workload/os_ticker.hpp"
@@ -19,9 +21,24 @@ std::invalid_argument err(int line, const std::string& what) {
   return std::invalid_argument("scenario line " + std::to_string(line) + ": " + what);
 }
 
+constexpr const char* kValidMachines = "xeon_e5620, four_node";
+constexpr const char* kValidDirectives =
+    "machine, machines, scheduler, seed, scale, horizon, sampling, vm, app, "
+    "churn, balance, migrate";
+
+bool valid_machine_name(const std::string& name) {
+  return name == "xeon_e5620" || name == "four_node";
+}
+
+numa::MachineConfig machine_by_name(const std::string& name) {
+  return name == "four_node" ? numa::MachineConfig::four_node_server()
+                             : numa::MachineConfig::xeon_e5620();
+}
+
 SchedKind parse_sched(const std::string& name, int line) {
   if (const auto kind = sched_from_name(name)) return *kind;
-  throw err(line, "unknown scheduler '" + name + "'");
+  throw err(line, "unknown scheduler '" + name + "' (valid: " +
+                      valid_sched_names() + ")");
 }
 
 numa::PlacementPolicy parse_policy(const std::string& name, int line) {
@@ -61,8 +78,35 @@ ScenarioSpec parse_scenario(std::string_view text) {
 
     if (head == "machine") {
       if (!(words >> spec.machine)) throw err(line_no, "machine needs a name");
-      if (spec.machine != "xeon_e5620" && spec.machine != "four_node") {
-        throw err(line_no, "unknown machine '" + spec.machine + "'");
+      if (!valid_machine_name(spec.machine)) {
+        throw err(line_no, "unknown machine '" + spec.machine +
+                               "' (valid: " + std::string(kValidMachines) + ")");
+      }
+    } else if (head == "machines") {
+      if (!spec.machines.empty()) throw err(line_no, "duplicate machines directive");
+      std::string token;
+      while (words >> token) {
+        ScenarioSpec::MachineSpec machine;
+        const auto star = token.find('*');
+        machine.kind = token.substr(0, star);
+        if (star != std::string::npos) {
+          try {
+            machine.count = std::stoi(token.substr(star + 1));
+          } catch (const std::exception&) {
+            throw err(line_no, "bad machine count in '" + token + "'");
+          }
+        }
+        if (!valid_machine_name(machine.kind)) {
+          throw err(line_no, "unknown machine '" + machine.kind +
+                                 "' (valid: " + std::string(kValidMachines) + ")");
+        }
+        if (machine.count < 1) {
+          throw err(line_no, "machine count must be >= 1 in '" + token + "'");
+        }
+        spec.machines.push_back(std::move(machine));
+      }
+      if (spec.machines.empty()) {
+        throw err(line_no, "machines needs at least one name[*count]");
       }
     } else if (head == "scheduler") {
       std::string name;
@@ -91,6 +135,9 @@ ScenarioSpec parse_scenario(std::string_view text) {
           vm.preferred = static_cast<int>(wl::parse_scaled(v));
         } else if (k == "alternate") {
           vm.alternate = wl::parse_scaled(v) != 0.0;
+        } else if (k == "host") {
+          vm.host = static_cast<int>(wl::parse_scaled(v));
+          if (vm.host < 0) throw err(line_no, "vm host= must be >= 0");
         } else {
           throw err(line_no, "unknown vm field '" + k + "'");
         }
@@ -174,21 +221,383 @@ ScenarioSpec parse_scenario(std::string_view text) {
           spec.churn.mean_lifetime <= sim::Time::zero()) {
         throw err(line_no, "churn interarrival/lifetime must be positive");
       }
+    } else if (head == "balance") {
+      if (spec.balance_enabled) throw err(line_no, "duplicate balance directive");
+      spec.balance_enabled = true;
+      for (const auto& [k, v] : keyvals(words, line_no)) {
+        if (k == "period") {
+          spec.balance_period_s = wl::parse_scaled(v);
+        } else if (k == "threshold") {
+          spec.balance_threshold = wl::parse_scaled(v);
+        } else {
+          throw err(line_no, "unknown balance field '" + k + "'");
+        }
+      }
+      if (spec.balance_period_s <= 0) throw err(line_no, "balance period must be positive");
+    } else if (head == "migrate") {
+      ScenarioSpec::MigrateSpec mig;
+      mig.to_host = -1;
+      for (const auto& [k, v] : keyvals(words, line_no)) {
+        if (k == "vm") {
+          mig.vm = v;
+        } else if (k == "to") {
+          mig.to_host = static_cast<int>(wl::parse_scaled(v));
+        } else if (k == "at") {
+          mig.at_s = wl::parse_scaled(v);
+        } else {
+          throw err(line_no, "unknown migrate field '" + k + "'");
+        }
+      }
+      if (mig.vm.empty()) throw err(line_no, "migrate needs vm=");
+      if (mig.to_host < 0) throw err(line_no, "migrate needs to= (host id)");
+      if (mig.at_s < 0) throw err(line_no, "migrate at= must be >= 0");
+      const bool vm_known =
+          std::any_of(spec.vms.begin(), spec.vms.end(),
+                      [&](const auto& vm) { return vm.name == mig.vm; });
+      if (!vm_known) throw err(line_no, "migrate references unknown vm '" + mig.vm + "'");
+      spec.migrations.push_back(std::move(mig));
     } else {
-      throw err(line_no, "unknown directive '" + head + "'");
+      throw err(line_no, "unknown directive '" + head + "' (valid: " +
+                             std::string(kValidDirectives) + ")");
     }
   }
   if (spec.vms.empty()) throw std::invalid_argument("scenario defines no VMs");
   if (spec.apps.empty()) throw std::invalid_argument("scenario defines no apps");
+  if (spec.cluster_mode()) {
+    const int hosts = spec.num_hosts();
+    for (const auto& vm : spec.vms) {
+      if (vm.host >= hosts) {
+        throw std::invalid_argument("vm '" + vm.name + "' pinned to host " +
+                                    std::to_string(vm.host) + " but the fleet has " +
+                                    std::to_string(hosts) + " hosts");
+      }
+    }
+    for (const auto& mig : spec.migrations) {
+      if (mig.to_host >= hosts) {
+        throw std::invalid_argument("migrate to=" + std::to_string(mig.to_host) +
+                                    " but the fleet has " + std::to_string(hosts) +
+                                    " hosts");
+      }
+    }
+  } else {
+    for (const auto& vm : spec.vms) {
+      if (vm.host >= 0) {
+        throw std::invalid_argument(
+            "vm host= requires a machines directive (cluster mode)");
+      }
+    }
+    if (!spec.migrations.empty()) {
+      throw std::invalid_argument(
+          "migrate requires a machines directive (cluster mode)");
+    }
+    if (spec.balance_enabled) {
+      throw std::invalid_argument(
+          "balance requires a machines directive (cluster mode)");
+    }
+  }
   return spec;
 }
 
-stats::RunMetrics run_scenario(const ScenarioSpec& spec) {
+namespace {
+
+/// The rebindable guest software of a cluster-managed background VM: its
+/// hungry/ticks apps, rebuilt from the scenario spec against whichever
+/// domain incarnation the control plane hands us (admission, or the
+/// destination host after a live migration).
+class BackgroundWorkload final : public cluster::Workload {
+ public:
+  BackgroundWorkload(hv::Hypervisor& hv, hv::Domain& dom,
+                     const std::vector<ScenarioSpec::AppSpec>& apps) {
+    const auto vcpus = domain_vcpus(dom);
+    for (const auto& app : apps) {
+      const auto from = static_cast<std::size_t>(app.from);
+      if (from >= vcpus.size()) {
+        throw std::invalid_argument("app 'from' beyond vm '" + app.vm + "' vcpus");
+      }
+      std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
+                                    vcpus.end());
+      if (app.kind == "hungry") {
+        hogs_.push_back(std::make_unique<wl::HungryLoops>(hv, dom, subset));
+      } else {  // ticks
+        ticks_.push_back(std::make_unique<wl::GuestOsTicks>(hv, dom, subset));
+      }
+    }
+  }
+
+  void start() override {
+    for (auto& h : hogs_) h->start();
+    for (auto& t : ticks_) t->start();
+  }
+  void stop() override {
+    for (auto& h : hogs_) h->stop();
+    for (auto& t : ticks_) t->stop();
+  }
+
+ private:
+  std::vector<std::unique_ptr<wl::HungryLoops>> hogs_;
+  std::vector<std::unique_ptr<wl::GuestOsTicks>> ticks_;
+};
+
+stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
   SchedulerOptions opts;
   opts.sampling_period = sim::Time::seconds(spec.sampling_s);
-  auto machine = spec.machine == "four_node"
-                     ? numa::MachineConfig::four_node_server()
-                     : numa::MachineConfig::xeon_e5620();
+
+  std::vector<cluster::HostSpec> host_specs;
+  std::vector<std::string> host_kinds;
+  for (const auto& m : spec.machines) {
+    for (int i = 0; i < m.count; ++i) {
+      cluster::HostSpec host;
+      host.machine = machine_by_name(m.kind);
+      host_specs.push_back(std::move(host));
+      host_kinds.push_back(m.kind);
+    }
+  }
+
+  cluster::Config ccfg;
+  ccfg.seed = spec.seed;
+  ccfg.host_template.rate_cache = opts.rate_cache;
+  if (spec.balance_enabled) {
+    ccfg.balance_period = sim::Time::seconds(spec.balance_period_s);
+    ccfg.balance_threshold = spec.balance_threshold;
+  }
+  cluster::Cluster fleet(ccfg, host_specs, scheduler_factory(spec.sched, opts));
+
+  // Admit the declared VMs in file order.  A VM whose apps are all
+  // background (hungry/ticks) is cluster-managed and rebindable — the
+  // control plane may live-migrate it; VMs running measured spec/npb apps
+  // keep their guest state outside the control plane and stay put.
+  std::map<std::string, std::vector<ScenarioSpec::AppSpec>> apps_by_vm;
+  for (const auto& app : spec.apps) apps_by_vm[app.vm].push_back(app);
+
+  std::map<std::string, int> vm_ids;
+  for (const auto& vm : spec.vms) {
+    const auto apps_it = apps_by_vm.find(vm.name);
+    const bool movable =
+        apps_it != apps_by_vm.end() && !apps_it->second.empty() &&
+        std::all_of(apps_it->second.begin(), apps_it->second.end(),
+                    [](const auto& a) { return a.kind == "hungry" || a.kind == "ticks"; });
+    cluster::VmSpec cvm;
+    cvm.name = vm.name;
+    cvm.mem_bytes = vm.mem_bytes;
+    cvm.vcpus = vm.vcpus;
+    cvm.policy = vm.policy;
+    cvm.preferred = static_cast<numa::NodeId>(vm.preferred);
+    cvm.alternate = vm.alternate;
+    cvm.host = vm.host;
+    if (movable) {
+      const std::vector<ScenarioSpec::AppSpec> apps = apps_it->second;
+      cvm.workload = [apps](hv::Hypervisor& hv, hv::Domain& dom) {
+        return std::make_unique<BackgroundWorkload>(hv, dom, apps);
+      };
+      const bool any_hungry =
+          std::any_of(apps.begin(), apps.end(),
+                      [](const auto& a) { return a.kind == "hungry"; });
+      cvm.dirty_bytes_per_s = any_hungry ? hungry_dirty_rate(vm.mem_bytes)
+                                         : ticker_dirty_rate(vm.mem_bytes);
+      cvm.autostart = false;  // staggered via start_vm below
+    }
+    const int id = fleet.admit(std::move(cvm));
+    if (id < 0) {
+      throw std::invalid_argument("vm '" + vm.name + "' does not fit the fleet");
+    }
+    vm_ids[vm.name] = id;
+  }
+
+  // Build the externally-owned apps (measured spec/npb, and background apps
+  // of mixed VMs) against each VM's admitted domain and host.
+  std::vector<std::unique_ptr<wl::SpecApp>> spec_apps;
+  std::vector<std::unique_ptr<wl::NpbApp>> npb_apps;
+  std::vector<std::unique_ptr<wl::HungryLoops>> hogs;
+  std::vector<std::unique_ptr<wl::GuestOsTicks>> ticks;
+  struct Measured {
+    std::function<bool()> finished;
+    std::function<double()> runtime_s;
+    std::string name;
+    int vm_id;
+  };
+  std::vector<Measured> measured;
+  const bool any_marked = std::any_of(spec.apps.begin(), spec.apps.end(),
+                                      [](const auto& a) { return a.measure; });
+
+  std::vector<std::function<void()>> starters;
+  std::vector<std::string> started_movables;
+  for (const auto& app : spec.apps) {
+    const int vm_id = vm_ids.at(app.vm);
+    const int host_id = fleet.host_of(vm_id);
+    hv::Hypervisor& hv = fleet.host(host_id);
+    hv::Domain& dom = *fleet.domain_of(vm_id);
+    bool movable = false;
+    for (const auto& view : fleet.vms()) {
+      if (view.id == vm_id) {
+        movable = view.movable;
+        break;
+      }
+    }
+    if (movable) {
+      // Cluster-managed VM: one staggered start for the whole VM, at the
+      // slot of its first app.
+      if (std::find(started_movables.begin(), started_movables.end(), app.vm) ==
+          started_movables.end()) {
+        started_movables.push_back(app.vm);
+        starters.push_back([&fleet, vm_id] { fleet.start_vm(vm_id); });
+      }
+      continue;
+    }
+    auto vcpus = domain_vcpus(dom);
+    const auto from = static_cast<std::size_t>(app.from);
+    if (from >= vcpus.size()) {
+      throw std::invalid_argument("app 'from' beyond vm '" + app.vm + "' vcpus");
+    }
+    const bool measure = app.measure || !any_marked;
+    if (app.kind == "spec") {
+      for (int i = 0; i < app.count; ++i) {
+        const std::size_t slot = from + static_cast<std::size_t>(i);
+        if (slot >= vcpus.size()) {
+          throw std::invalid_argument("too many spec instances for vm '" + app.vm + "'");
+        }
+        spec_apps.push_back(std::make_unique<wl::SpecApp>(
+            hv, dom, *vcpus[slot], app.profile, spec.scale,
+            app.vm + ":" + app.profile + "#" + std::to_string(i)));
+        wl::SpecApp* sa = spec_apps.back().get();
+        starters.push_back([sa] { sa->start(); });
+        if (measure) {
+          measured.push_back({[sa] { return sa->finished(); },
+                              [sa] { return sa->runtime().to_seconds(); },
+                              sa->name(), vm_id});
+        }
+      }
+    } else if (app.kind == "npb") {
+      wl::NpbApp::Config ncfg;
+      ncfg.profile = app.profile;
+      ncfg.threads = app.threads;
+      ncfg.instr_scale = spec.scale;
+      ncfg.name = app.vm + ":" + app.profile;
+      std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
+                                    vcpus.end());
+      npb_apps.push_back(std::make_unique<wl::NpbApp>(hv, dom, ncfg, subset));
+      wl::NpbApp* na = npb_apps.back().get();
+      starters.push_back([na] { na->start(); });
+      if (measure) {
+        measured.push_back({[na] { return na->finished(); },
+                            [na] { return na->runtime().to_seconds(); },
+                            na->name(), vm_id});
+      }
+    } else if (app.kind == "hungry") {
+      std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
+                                    vcpus.end());
+      hogs.push_back(std::make_unique<wl::HungryLoops>(hv, dom, subset));
+      wl::HungryLoops* h = hogs.back().get();
+      starters.push_back([h] { h->start(); });
+    } else {  // ticks
+      std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
+                                    vcpus.end());
+      ticks.push_back(std::make_unique<wl::GuestOsTicks>(hv, dom, subset));
+      wl::GuestOsTicks* t = ticks.back().get();
+      starters.push_back([t] { t->start(); });
+    }
+  }
+
+  fleet.start();
+  int launch = 0;
+  for (auto& start : starters) {
+    fleet.engine().schedule(sim::Time::ms(10 * launch++), start);
+  }
+
+  // Scripted cross-host live migrations.
+  for (const auto& mig : spec.migrations) {
+    const std::string name = mig.vm;
+    const int to = mig.to_host;
+    fleet.engine().schedule_at(
+        sim::Time::seconds(mig.at_s), [&fleet, name, to] {
+          const int id = fleet.find_vm_by_name(name);
+          if (id >= 0) fleet.migrate(id, to);
+        });
+  }
+
+  // Dynamic background churn through the cluster control plane.
+  std::unique_ptr<ChurnDriver> churn;
+  if (spec.churn_enabled) {
+    ChurnOptions copts = spec.churn;
+    if (copts.seed == 0) copts.seed = spec.seed;
+    churn = std::make_unique<ChurnDriver>(fleet, copts);
+    churn->start();
+  }
+
+  // Cluster scenarios may be pure background fleets: with nothing measured
+  // the run is horizon-bounded by design, not incomplete.
+  const bool have_measured = !measured.empty();
+  const bool done = run_cluster_until(
+      fleet,
+      have_measured
+          ? std::function<bool()>([&] {
+              return std::all_of(measured.begin(), measured.end(),
+                                 [](const Measured& m) { return m.finished(); });
+            })
+          : std::function<bool()>(),
+      sim::Time::seconds(spec.horizon_s));
+
+  stats::RunMetrics metrics;
+  metrics.scheduler = to_string(spec.sched);
+  metrics.workload = "scenario";
+  metrics.completed = done;
+  pmu::CounterSet counters;
+  std::vector<int> counted;
+  for (const Measured& m : measured) {
+    metrics.app_runtime_s[m.name] = m.finished() ? m.runtime_s() : 0.0;
+    if (std::find(counted.begin(), counted.end(), m.vm_id) == counted.end()) {
+      counted.push_back(m.vm_id);
+      if (hv::Domain* dom = fleet.domain_of(m.vm_id)) {
+        counters += dom->total_counters();
+      }
+    }
+  }
+  metrics.finalize();
+  metrics.total_mem_accesses = counters.total_mem_accesses();
+  metrics.remote_mem_accesses = counters.remote_accesses;
+
+  double busy_total = 0.0;
+  double overhead_total = 0.0;
+  for (int id = 0; id < fleet.num_hosts(); ++id) {
+    hv::Hypervisor& hv = fleet.host(id);
+    metrics.migrations += hv.total_migrations();
+    metrics.cross_node_migrations += hv.total_cross_node_migrations();
+    busy_total += hv.total_busy_time().to_seconds();
+    overhead_total += hv.overhead().paper_overhead().to_seconds();
+
+    stats::HostMetrics host;
+    host.name = fleet.host_name(id);
+    host.machine = host_kinds[static_cast<std::size_t>(id)];
+    host.domains = static_cast<int>(hv.domains().size());
+    host.vcpus = static_cast<int>(hv.all_vcpus().size());
+    host.busy_s = hv.total_busy_time().to_seconds();
+    host.migrations = hv.total_migrations();
+    host.cross_node_migrations = hv.total_cross_node_migrations();
+    host.trace_records = fleet.tracer(id).total_recorded();
+    host.trace_digest = fleet.tracer(id).digest();
+    metrics.hosts.push_back(std::move(host));
+  }
+  metrics.overhead_fraction = busy_total > 0 ? overhead_total / busy_total : 0.0;
+  metrics.sim_seconds = fleet.now().to_seconds();
+
+  metrics.cluster.admitted = fleet.admitted();
+  metrics.cluster.rejected = fleet.rejected();
+  metrics.cluster.migrations_started = fleet.migrations_started();
+  metrics.cluster.migrations_completed = fleet.migrations_completed();
+  metrics.cluster.migrations_rejected = fleet.migrations_rejected();
+  metrics.cluster.precopy_rounds = fleet.precopy_rounds();
+  metrics.cluster.migrated_bytes = fleet.migrated_bytes();
+  metrics.cluster.balance_actions = fleet.balance_actions();
+  metrics.cluster.fleet_digest = fleet.fleet_digest();
+  return metrics;
+}
+
+}  // namespace
+
+stats::RunMetrics run_scenario(const ScenarioSpec& spec) {
+  if (spec.cluster_mode()) return run_cluster_scenario(spec);
+  SchedulerOptions opts;
+  opts.sampling_period = sim::Time::seconds(spec.sampling_s);
+  auto machine = machine_by_name(spec.machine);
   auto hv = make_hypervisor(spec.sched, spec.seed, opts, machine);
 
   std::map<std::string, hv::Domain*> domains;

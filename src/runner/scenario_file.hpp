@@ -19,6 +19,17 @@
 //     # the measured apps run (seeded; defaults to the scenario seed).
 //     churn interarrival=0.06 lifetime=0.15 pause_prob=0.3 max_live=6
 //
+// Multi-machine (cluster) scenarios replace `machine` with a fleet:
+//
+//     machines xeon_e5620*2 four_node*2   # 4 hosts, ids 0..3 in order
+//     vm name=pinned mem=2G vcpus=4 host=1   # pin to host 1 (optional)
+//     migrate vm=burner to=2 at=0.1          # scripted live migration
+//     balance period=0.5 threshold=0.25      # periodic load balancer
+//
+// Cluster runs admit VMs through the control plane (Gudkov-style placement
+// filter), may run with no measured app (they stop at the horizon), and
+// report per-host plus cluster-rollup metrics.
+//
 // App kinds: spec (count instances, one VCPU each, starting at `from`),
 // npb (4-threaded barrier app; `threads=` to change), hungry (one loop per
 // remaining VCPU from `from`), ticks (guest housekeeping on VCPUs from
@@ -51,6 +62,7 @@ struct ScenarioSpec {
     numa::PlacementPolicy policy = numa::PlacementPolicy::kFillFirst;
     int preferred = 0;
     bool alternate = false;
+    int host = -1;  ///< cluster mode: pin to this host; -1 = controller places
   };
 
   struct AppSpec {
@@ -70,6 +82,32 @@ struct ScenarioSpec {
   /// churn.seed is 0, the driver runs off the scenario seed.
   bool churn_enabled = false;
   ChurnOptions churn;
+
+  /// Cluster mode: the fleet, in host-id order ("machines" directive).
+  struct MachineSpec {
+    std::string kind;  ///< xeon_e5620 | four_node
+    int count = 1;
+  };
+  std::vector<MachineSpec> machines;
+  bool cluster_mode() const { return !machines.empty(); }
+  int num_hosts() const {
+    int total = 0;
+    for (const auto& m : machines) total += m.count;
+    return total;
+  }
+
+  /// Scripted cross-host live migrations ("migrate" directive).
+  struct MigrateSpec {
+    std::string vm;
+    int to_host = 0;
+    double at_s = 0.0;
+  };
+  std::vector<MigrateSpec> migrations;
+
+  /// Periodic cluster load balancer ("balance" directive).
+  bool balance_enabled = false;
+  double balance_period_s = 0.5;
+  double balance_threshold = 0.25;
 };
 
 /// Parse the scenario text.  Throws std::invalid_argument with a line

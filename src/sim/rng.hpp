@@ -53,6 +53,17 @@ class Rng {
   /// Derive an independent child generator (for per-component streams).
   Rng fork();
 
+  /// Seed for the `index`-th child stream of `seed` (per-host RNG streams).
+  ///
+  /// reseed() consumes exactly four SplitMix64 gammas starting from its
+  /// argument, so advancing the seed by 4*index gammas hands every child a
+  /// disjoint segment of the same SplitMix64 sequence — structurally
+  /// independent streams, all from one run seed.  child_seed(s, 0) == s, so
+  /// a cluster of one host reproduces the single-machine stream exactly.
+  static constexpr std::uint64_t child_seed(std::uint64_t seed, int index) {
+    return seed + 4ull * static_cast<std::uint64_t>(index) * 0x9e3779b97f4a7c15ULL;
+  }
+
  private:
   std::uint64_t s_[4] = {};
   bool have_spare_normal_ = false;

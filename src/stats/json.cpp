@@ -140,6 +140,37 @@ std::string to_json(const RunMetrics& m) {
   json.key("app_runtime_s").begin_object();
   for (const auto& [name, t] : m.app_runtime_s) json.member(name, t);
   json.end_object();
+  // Cluster keys exist only for multi-machine runs, so single-machine JSON
+  // stays byte-identical to the pre-cluster format.
+  if (m.is_cluster_run()) {
+    json.key("hosts").begin_array();
+    for (const HostMetrics& h : m.hosts) {
+      json.begin_object()
+          .member("name", h.name)
+          .member("machine", h.machine)
+          .member("domains", static_cast<std::int64_t>(h.domains))
+          .member("vcpus", static_cast<std::int64_t>(h.vcpus))
+          .member("busy_s", h.busy_s)
+          .member("migrations", h.migrations)
+          .member("cross_node_migrations", h.cross_node_migrations)
+          .member("trace_records", h.trace_records)
+          .member("trace_digest", hex_digest(h.trace_digest));
+      json.end_object();
+    }
+    json.end_array();
+    json.key("cluster").begin_object();
+    json.member("num_hosts", static_cast<std::int64_t>(m.hosts.size()))
+        .member("admitted", m.cluster.admitted)
+        .member("rejected", m.cluster.rejected)
+        .member("migrations_started", m.cluster.migrations_started)
+        .member("migrations_completed", m.cluster.migrations_completed)
+        .member("migrations_rejected", m.cluster.migrations_rejected)
+        .member("precopy_rounds", m.cluster.precopy_rounds)
+        .member("migrated_bytes", m.cluster.migrated_bytes)
+        .member("balance_actions", m.cluster.balance_actions)
+        .member("fleet_digest", hex_digest(m.cluster.fleet_digest));
+    json.end_object();
+  }
   json.end_object();
   return os.str();
 }

@@ -1,5 +1,9 @@
 #include "stats/metrics.hpp"
 
+#include <cstdio>
+
+#include "stats/csv.hpp"
+
 namespace vprobe::stats {
 
 void RunMetrics::finalize() {
@@ -12,6 +16,27 @@ void RunMetrics::finalize() {
 double normalized(double value, double baseline) {
   if (baseline == 0.0) return 0.0;
   return value / baseline;
+}
+
+std::string hex_digest(std::uint64_t digest) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+void write_host_csv(const std::string& path, const RunMetrics& metrics) {
+  if (!metrics.is_cluster_run()) return;
+  CsvWriter csv(path, {"host", "machine", "domains", "vcpus", "busy_s",
+                       "migrations", "cross_node_migrations", "trace_records",
+                       "trace_digest"});
+  for (const HostMetrics& h : metrics.hosts) {
+    csv.add_row({h.name, h.machine, std::to_string(h.domains),
+                 std::to_string(h.vcpus), std::to_string(h.busy_s),
+                 std::to_string(h.migrations),
+                 std::to_string(h.cross_node_migrations),
+                 std::to_string(h.trace_records), hex_digest(h.trace_digest)});
+  }
 }
 
 }  // namespace vprobe::stats

@@ -1,12 +1,40 @@
 // Per-run experiment metrics: what the paper's figures plot.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/time.hpp"
 
 namespace vprobe::stats {
+
+/// Per-host slice of a multi-machine (cluster) run.
+struct HostMetrics {
+  std::string name;
+  std::string machine;  ///< machine-config label ("xeon_e5620", ...)
+  int domains = 0;      ///< domains live at the end of the run
+  int vcpus = 0;        ///< VCPUs live at the end of the run
+  double busy_s = 0.0;  ///< guest busy time accumulated on the host
+  std::uint64_t migrations = 0;  ///< intra-host VCPU migrations
+  std::uint64_t cross_node_migrations = 0;
+  std::uint64_t trace_records = 0;
+  std::uint64_t trace_digest = 0;  ///< running FNV-1a trace digest
+};
+
+/// Control-plane counters for a cluster run.
+struct ClusterMetrics {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t migrations_rejected = 0;
+  std::uint64_t precopy_rounds = 0;
+  double migrated_bytes = 0.0;
+  std::uint64_t balance_actions = 0;
+  std::uint64_t fleet_digest = 0;
+};
 
 struct RunMetrics {
   std::string scheduler;
@@ -42,6 +70,13 @@ struct RunMetrics {
   /// True when every tracked app finished before the horizon.
   bool completed = false;
 
+  /// Multi-machine runs only; empty for single-machine runs (and then the
+  /// JSON/CSV output is byte-identical to the pre-cluster format).
+  std::vector<HostMetrics> hosts;
+  ClusterMetrics cluster;
+
+  bool is_cluster_run() const { return !hosts.empty(); }
+
   double remote_access_ratio() const {
     return total_mem_accesses > 0 ? remote_mem_accesses / total_mem_accesses : 0.0;
   }
@@ -52,5 +87,14 @@ struct RunMetrics {
 
 /// value / baseline, guarding division by zero.
 double normalized(double value, double baseline);
+
+/// 16-digit lowercase hex rendering of a 64-bit trace digest — the format
+/// tests/golden/traces.txt uses, so digests compare textually everywhere.
+std::string hex_digest(std::uint64_t digest);
+
+/// Per-host CSV dump of a cluster run (one row per host), matching the
+/// JSON "hosts" array.  Throws std::runtime_error when the file cannot be
+/// opened; no-op for single-machine metrics.
+void write_host_csv(const std::string& path, const RunMetrics& metrics);
 
 }  // namespace vprobe::stats

@@ -20,6 +20,15 @@ void TraceDigest::add(const Record& r) {
   ++records_;
 }
 
+std::uint64_t fnv1a_mix(std::uint64_t hash, std::uint64_t value) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffu;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
 std::uint64_t digest_records(std::span<const Record> records) {
   TraceDigest d;
   for (const Record& r : records) d.add(r);

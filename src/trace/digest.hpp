@@ -36,6 +36,12 @@ class TraceDigest {
 /// Digest of a whole record sequence (e.g. Tracer::snapshot()).
 std::uint64_t digest_records(std::span<const Record> records);
 
+/// One FNV-1a step folding an arbitrary 64-bit value into `hash` — used to
+/// combine per-host stream digests into a single fleet digest.  Start from
+/// fnv1a_basis() and fold (host id, digest, record count) in host-id order.
+std::uint64_t fnv1a_mix(std::uint64_t hash, std::uint64_t value);
+constexpr std::uint64_t fnv1a_basis() { return 1469598103934665603ull; }
+
 /// 16 lowercase hex digits, zero-padded — the golden-file spelling.
 std::string digest_hex(std::uint64_t value);
 

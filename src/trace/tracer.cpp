@@ -32,6 +32,7 @@ Tracer::Tracer(std::size_t capacity) {
 void Tracer::record(sim::Time when, EventKind kind, std::int32_t vcpu,
                     std::int32_t pcpu, std::int32_t aux) {
   ring_[next_] = Record{when, kind, vcpu, pcpu, aux};
+  digest_.add(ring_[next_]);
   // Wrap with a compare instead of %: next_ is always < size, and the
   // division would be the most expensive instruction on this hot path.
   if (++next_ == ring_.size()) next_ = 0;
@@ -56,6 +57,7 @@ std::vector<Record> Tracer::snapshot() const {
 void Tracer::clear() {
   next_ = 0;
   total_ = 0;
+  digest_ = TraceDigest{};
   counts_.fill(0);
 }
 

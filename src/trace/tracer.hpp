@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "trace/digest.hpp"
 #include "trace/event.hpp"
 
 namespace vprobe::trace {
@@ -21,6 +22,17 @@ class Tracer {
 
   void record(sim::Time when, EventKind kind, std::int32_t vcpu,
               std::int32_t pcpu, std::int32_t aux = 0);
+
+  /// Running FNV-1a digest over every record ever recorded — unlike
+  /// digest_records(snapshot()), it does not depend on the ring capacity,
+  /// so fleet digests stay exact even when a host's ring wraps.  Equal to
+  /// digest_records(snapshot()) while dropped() == 0.
+  std::uint64_t digest() const { return digest_.value(); }
+
+  /// Host id this stream belongs to in a multi-machine run (-1 = unset).
+  /// Tag only; records are unchanged, so single-machine digests hold.
+  void set_host(int host) { host_ = host; }
+  int host() const { return host_; }
 
   /// Events currently retained, oldest first.
   std::vector<Record> snapshot() const;
@@ -43,6 +55,8 @@ class Tracer {
   std::vector<Record> ring_;
   std::size_t next_ = 0;
   std::uint64_t total_ = 0;
+  int host_ = -1;
+  TraceDigest digest_;
   std::array<std::uint64_t, static_cast<std::size_t>(EventKind::kCount)> counts_{};
 };
 
