@@ -1,0 +1,217 @@
+// PDES scaling: wall-clock cost of the sharded per-host engine
+// (--sim-threads) against the serial shared-engine reference, with the
+// digest-identity contract asserted on every row — the speedup is only
+// worth reporting if the answer never changes.
+//
+// Strong scaling: a fixed 8-host fleet (2 VMs/host + churn + balancer + one
+// scripted live migration) swept over thread counts; every row must produce
+// the serial run's fleet digest bit for bit.
+//
+// Weak scaling: hosts == threads, so per-thread work stays constant while
+// the synchronizer's coupling traffic grows with the fleet.
+//
+// --smoke gates (exit nonzero on violation):
+//   * serial (threads=1) and sharded (threads=4) runs of the 8-host fleet
+//     produce bit-identical fleet digests and record counts;
+//   * zero FleetCheck invariant violations on every shard;
+//   * the scripted live migration completes under the synchronizer.
+//
+// NOTE: real speedup needs real cores.  On a 1-hardware-thread builder the
+// sharded rows measure synchronizer overhead, not parallelism — the digest
+// identity is the contract CI enforces; the speedup column is reported for
+// machines that have the cores (see BENCH_pdes.json).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/fleet_check.hpp"
+#include "runner/churn.hpp"
+#include "runner/fleet.hpp"
+#include "trace/digest.hpp"
+
+namespace {
+
+using namespace vprobe;  // NOLINT
+
+struct PdesResult {
+  int hosts = 0;
+  int threads = 0;
+  double wall_ms = 0.0;
+  std::uint64_t records = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t violations = 0;
+};
+
+PdesResult run_fleet(int num_hosts, int sim_threads, std::uint64_t seed,
+                     sim::Time horizon) {
+  cluster::Config ccfg;
+  ccfg.seed = seed;
+  ccfg.sim_threads = sim_threads;
+  ccfg.balance_period = sim::Time::ms(300);
+  ccfg.balance_threshold = 0.2;
+
+  // Heterogeneous fleet: alternate the paper's Xeon with the 4-node box.
+  std::vector<cluster::HostSpec> hosts(static_cast<std::size_t>(num_hosts));
+  for (int id = 1; id < num_hosts; id += 2) {
+    hosts[static_cast<std::size_t>(id)].machine =
+        numa::MachineConfig::four_node_server();
+  }
+  cluster::Cluster fleet(ccfg, hosts,
+                         runner::scheduler_factory(runner::SchedKind::kCredit));
+  cluster::FleetCheck check(fleet);
+
+  constexpr std::int64_t kMiB = 1024ll * 1024;
+  int mover = -1;
+  for (int id = 0; id < num_hosts; ++id) {
+    cluster::VmSpec burner;
+    burner.name = "burner" + std::to_string(id);
+    burner.mem_bytes = 512 * kMiB;
+    burner.vcpus = 2;
+    burner.host = id;
+    burner.workload = runner::hungry_workload();
+    burner.dirty_bytes_per_s = runner::hungry_dirty_rate(burner.mem_bytes);
+    const int vm = fleet.admit(std::move(burner));
+    if (id == 0) mover = vm;
+
+    cluster::VmSpec ticker;
+    ticker.name = "ticker" + std::to_string(id);
+    ticker.mem_bytes = 256 * kMiB;
+    ticker.vcpus = 2;
+    ticker.host = id;
+    ticker.workload = runner::ticker_workload();
+    ticker.dirty_bytes_per_s = runner::ticker_dirty_rate(ticker.mem_bytes);
+    fleet.admit(std::move(ticker));
+  }
+  fleet.start();
+
+  if (num_hosts > 1 && mover >= 0) {
+    fleet.engine().schedule_at(sim::Time::ms(50),
+                               [&fleet, mover] { fleet.migrate(mover, 1); });
+  }
+
+  runner::ChurnOptions copts;
+  copts.seed = seed;
+  copts.mean_interarrival = sim::Time::ms(30);
+  copts.mean_lifetime = sim::Time::ms(80);
+  copts.max_live = 2 * num_hosts;
+  runner::ChurnDriver churn(fleet, copts);
+  churn.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  runner::run_cluster_until(fleet, nullptr, horizon);
+  const auto t1 = std::chrono::steady_clock::now();
+  churn.drain();
+
+  PdesResult out;
+  out.hosts = num_hosts;
+  out.threads = fleet.sim_threads();
+  out.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
+          .count();
+  for (int id = 0; id < num_hosts; ++id) {
+    out.records += fleet.tracer(id).total_recorded();
+  }
+  out.digest = fleet.fleet_digest();
+  out.migrations_completed = fleet.migrations_completed();
+  out.violations = check.total_violations();
+  return out;
+}
+
+int smoke(std::uint64_t seed) {
+  const sim::Time horizon = sim::Time::ms(700);
+  const PdesResult serial = run_fleet(8, 1, seed, horizon);
+  const PdesResult sharded = run_fleet(8, 4, seed, horizon);
+  int failures = 0;
+  auto gate = [&failures](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  gate(serial.records > 0, "fleet produced trace events");
+  gate(sharded.threads == 4, "sharded run actually used 4 worker shards");
+  gate(serial.violations == 0 && sharded.violations == 0,
+       "zero invariant violations on every shard (FleetCheck)");
+  gate(sharded.migrations_completed >= 1,
+       "scripted live migration completed under the synchronizer");
+  gate(sharded.digest == serial.digest && sharded.records == serial.records,
+       "--sim-threads 4 is bit-identical to --sim-threads 1 (fleet digest)");
+  std::printf("smoke: %s (digest %s, %llu records, serial %.1f ms,"
+              " sharded %.1f ms)\n",
+              failures == 0 ? "PASS" : "FAIL",
+              trace::digest_hex(serial.digest).c_str(),
+              static_cast<unsigned long long>(serial.records), serial.wall_ms,
+              sharded.wall_ms);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vprobe;  // NOLINT
+
+  runner::Cli cli(argc, argv);
+  if (runner::maybe_print_help(
+          cli, "PDES scaling: sharded engine wall-clock vs the serial path",
+          "  --smoke             8-host gate: digest identity at 4 threads\n"
+          "  --horizon S         simulated seconds per fleet (default 0.7)\n"
+          "  --max-threads N     largest shard count swept (default 8)\n")) {
+    return 0;
+  }
+  const std::uint64_t seed = cli.get_u64("seed", 7);
+  if (cli.has("smoke")) return smoke(seed);
+
+  const double horizon_s = cli.get_double("horizon", 0.7);
+  const int max_threads = cli.get_int("max-threads", 8);
+  const sim::Time horizon = sim::Time::seconds(horizon_s);
+
+  std::printf("==============================================================\n");
+  std::printf("PDES strong scaling (8 hosts, 2 VMs/host + churn, sweep threads)\n");
+  std::printf("==============================================================\n");
+  std::printf("horizon %.2fs simulated, seed %llu\n\n", horizon_s,
+              static_cast<unsigned long long>(seed));
+
+  const PdesResult base = run_fleet(8, 1, seed, horizon);
+  stats::Table strong({"threads", "wall (ms)", "speedup", "records",
+                       "digest ok"});
+  strong.add_row({"1", stats::fmt(base.wall_ms, "%.1f"), "1.00",
+                  std::to_string(base.records), "ref"});
+  bool all_identical = true;
+  for (int t = 2; t <= max_threads; t *= 2) {
+    const PdesResult r = run_fleet(8, t, seed, horizon);
+    const bool same = r.digest == base.digest && r.records == base.records;
+    all_identical = all_identical && same;
+    strong.add_row({std::to_string(t), stats::fmt(r.wall_ms, "%.1f"),
+                    stats::fmt(r.wall_ms > 0 ? base.wall_ms / r.wall_ms : 0.0,
+                               "%.2f"),
+                    std::to_string(r.records), same ? "yes" : "NO"});
+  }
+  strong.print();
+
+  std::printf("\n=============================================================\n");
+  std::printf("PDES weak scaling (hosts == threads, 2 VMs/host + churn)\n");
+  std::printf("=============================================================\n\n");
+  stats::Table weak({"hosts=threads", "wall (ms)", "records",
+                     "records/s wall"});
+  for (int n = 1; n <= max_threads; n *= 2) {
+    const PdesResult r = run_fleet(n, n, seed, horizon);
+    weak.add_row(
+        {std::to_string(n), stats::fmt(r.wall_ms, "%.1f"),
+         std::to_string(r.records),
+         stats::fmt(r.wall_ms > 0
+                        ? 1000.0 * static_cast<double>(r.records) / r.wall_ms
+                        : 0.0,
+                    "%.0f")});
+  }
+  weak.print();
+
+  if (!all_identical) {
+    std::fprintf(stderr, "\nerror: a sharded run diverged from the serial"
+                         " digest — see docs/PDES.md\n");
+    return 1;
+  }
+  std::printf("\nevery sharded row reproduced the serial digest %s\n",
+              trace::digest_hex(base.digest).c_str());
+  return 0;
+}

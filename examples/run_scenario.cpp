@@ -48,7 +48,9 @@ int main(int argc, char** argv) {
           "  <file.scn>       positional: scenario file to run\n"
           "  --repeats N      average over N seeds (default 1; seeds from"
           " the scenario's base seed)\n"
-          "  --hosts-csv F    cluster scenarios: per-host metrics to F"))
+          "  --hosts-csv F    cluster scenarios: per-host metrics to F\n"
+          "  --sim-threads N  cluster scenarios: engine shards (PDES);\n"
+          "                   bit-identical to --sim-threads 1"))
     return 0;
 
   std::string text;
@@ -80,11 +82,13 @@ int main(int argc, char** argv) {
   runner::RunConfig cfg;
   cfg.seed = spec.seed;
   cfg.repeats = cli.get_int("repeats", 1);
+  cfg.sim_threads = cli.get_int("sim-threads", 1);
   runner::RunPlan plan;
   plan.add(runner::RunSpec::custom_job(
       cfg, "scenario", [&spec](const runner::RunConfig& c) {
         runner::ScenarioSpec seeded = spec;
         seeded.seed = c.seed;
+        seeded.sim_threads = c.sim_threads;
         return runner::run_scenario(seeded);
       }));
   runner::ExecutorOptions opts;

@@ -11,13 +11,14 @@ cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
-echo "== labelled suites (golden, differential, engine, churn, costmodel, cluster) =="
+echo "== labelled suites (golden, differential, engine, churn, costmodel, cluster, pdes) =="
 ctest --test-dir build -L golden --output-on-failure
 ctest --test-dir build -L differential --output-on-failure
 ctest --test-dir build -L engine --output-on-failure
 ctest --test-dir build -L churn --output-on-failure
 ctest --test-dir build -L costmodel --output-on-failure
 ctest --test-dir build -L cluster --output-on-failure
+ctest --test-dir build -L pdes --output-on-failure
 
 echo "== engine hot-path smoke (zero steady-state allocations gate) =="
 ./build/bench/engine_bench --smoke
@@ -30,6 +31,9 @@ echo "== lifecycle churn fuzzer smoke (invariants under create/destroy/pause) ==
 
 echo "== fleet scaling smoke (cluster determinism + live migration + FleetCheck) =="
 ./build/bench/scaling_machines --smoke
+
+echo "== PDES scaling smoke (sharded-vs-serial digest identity at N threads) =="
+./build/bench/pdes_scaling --smoke
 
 echo "== tsan preset: parallel-executor tests under ThreadSanitizer =="
 cmake --preset tsan

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "cluster/fleet_check.hpp"
@@ -26,6 +27,22 @@ Cluster::Cluster(Config config, std::span<const HostSpec> hosts,
   if (!scheduler_factory) {
     throw std::invalid_argument("Cluster: scheduler factory is required");
   }
+  // Resolve the shard count: never more threads than hosts (a shard is a
+  // host's event stream), and a single host or sim_threads=1 stays on the
+  // serial shared-engine path — the reference semantics every golden
+  // digest is pinned against.
+  int threads = config_.sim_threads;
+  if (threads <= 0) {
+    threads = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  threads = std::min(threads, static_cast<int>(hosts.size()));
+  if (threads > 1) {
+    sim_threads_ = threads;
+    shard_engines_.reserve(hosts.size());
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      shard_engines_.push_back(std::make_unique<sim::Engine>());
+    }
+  }
   hosts_.reserve(hosts.size());
   tracers_.reserve(hosts.size());
   for (int id = 0; id < static_cast<int>(hosts.size()); ++id) {
@@ -38,7 +55,7 @@ Cluster::Cluster(Config config, std::span<const HostSpec> hosts,
     host_cfg.seed = sim::Rng::child_seed(config_.seed, id);
     host_cfg.host_id = id;
     hosts_.push_back(std::make_unique<hv::Hypervisor>(
-        host_cfg, scheduler_factory(id), engine_));
+        host_cfg, scheduler_factory(id), host_engine(id)));
     host_names_.push_back(spec.name.empty() ? "host" + std::to_string(id)
                                             : spec.name);
     tracers_.push_back(std::make_unique<trace::Tracer>(config_.trace_capacity));
@@ -55,6 +72,7 @@ Cluster::~Cluster() {
   // uncancellable zero-delay poke/preempt lambdas) hold references into
   // host state that per-host teardown cannot reach.
   engine_.clear();
+  for (auto& shard : shard_engines_) shard->clear();
 }
 
 void Cluster::start() {
@@ -63,6 +81,42 @@ void Cluster::start() {
     balance_timer_ = engine_.schedule_periodic(config_.balance_period,
                                                [this] { balance_once(); });
   }
+}
+
+std::size_t Cluster::run_until(sim::Time deadline) {
+  if (!sharded()) return engine_.run_until(deadline);
+  if (pool_ == nullptr) pool_ = std::make_unique<ShardPool>(sim_threads_);
+  const int n = num_hosts();
+  std::vector<std::size_t> ran(static_cast<std::size_t>(n), 0);
+  // Conservative windows: every shard may safely run to the time of the
+  // next control-plane event, because host events never touch another
+  // host's state and only control events couple hosts.  Shards drain
+  // strictly *below* the coupling point, then the control engine fires
+  // everything at it (draining any same-time control cascade), so at equal
+  // times control events precede host events — the order the serial path
+  // produces for every systematic collision (docs/PDES.md).  Worker
+  // threads are quiescent whenever control code runs, so control events
+  // and callers between run_until() calls see settled host state.
+  for (;;) {
+    const sim::Time coupling = engine_.next_event_time();
+    if (coupling > deadline) break;
+    pool_->parallel_for(n, [&](int id) {
+      ran[static_cast<std::size_t>(id)] +=
+          shard_engines_[static_cast<std::size_t>(id)]->run_before(coupling);
+    });
+    ran[0] += engine_.run_until(coupling);
+  }
+  // No control events remain at or before the deadline; finish the hosts
+  // inclusively so events exactly at `deadline` fire, like the serial
+  // run_until contract.
+  pool_->parallel_for(n, [&](int id) {
+    ran[static_cast<std::size_t>(id)] +=
+        shard_engines_[static_cast<std::size_t>(id)]->run_until(deadline);
+  });
+  engine_.run_until(deadline);  // advances the control clock; queue is empty
+  std::size_t total = 0;
+  for (std::size_t c : ran) total += c;
+  return total;
 }
 
 // -- Admission ----------------------------------------------------------------
@@ -209,8 +263,13 @@ bool Cluster::resume(int vm_id) {
 
 bool Cluster::migrate(int vm_id, int dst_host) {
   Vm* vm = find_vm(vm_id);
-  if (vm == nullptr || vm->migrating || vm->paused || !vm->spec.workload ||
-      dst_host < 0 || dst_host >= num_hosts() || dst_host == vm->host) {
+  // A VM must have booted to migrate (pre-copy tracks a *running* guest's
+  // dirty pages).  This also keeps a staggered start_vm event, which lives
+  // on the admission host's engine, from racing a cross-shard move in
+  // sharded runs (docs/PDES.md).
+  if (vm == nullptr || vm->migrating || vm->paused || !vm->started ||
+      !vm->spec.workload || dst_host < 0 || dst_host >= num_hosts() ||
+      dst_host == vm->host) {
     ++migrations_rejected_;
     return false;
   }

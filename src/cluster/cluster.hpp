@@ -1,10 +1,17 @@
-// The cluster control plane: N hypervisors on one shared engine.
+// The cluster control plane: N hypervisors on one control engine, with
+// optional per-host engine shards (PDES).
 //
-// A Cluster owns one sim::Engine plus one hv::Hypervisor per host spec —
-// each host with its own machine config, contention stack, scheduler
+// A Cluster owns one control sim::Engine plus one hv::Hypervisor per host
+// spec — each host with its own machine config, contention stack, scheduler
 // instance, tracer stream (tagged by host id) and a child RNG stream
 // derived from (run seed, host id), so fleet digests are invariant to
-// host-construction order.  Above the per-host schedulers it provides the
+// host-construction order.  With Config::sim_threads > 1 every host also
+// gets a private engine shard; run_until() then advances the shards on a
+// worker pool under a conservative-lookahead synchronizer whose windows end
+// at the next control-plane event (balancer tick, migration round, churn
+// arrival, scripted directive), bit-identical to the serial path — the
+// model, the ordering rule and the determinism argument live in
+// docs/PDES.md.  Above the per-host schedulers it provides the
 // datacenter-level mechanisms the ROADMAP's scale-out item names:
 //
 //  * admission control + initial placement: a Gudkov-style per-host
@@ -30,6 +37,7 @@
 #include <vector>
 
 #include "cluster/placement.hpp"
+#include "cluster/shard_pool.hpp"
 #include "cluster/workload.hpp"
 #include "hv/hypervisor.hpp"
 #include "sim/engine.hpp"
@@ -96,6 +104,13 @@ struct Config {
   /// Per-host tracer ring capacity.  The running digest is exact even when
   /// a ring wraps, so fleets default to a small ring.
   std::size_t trace_capacity = 8192;
+  /// Engine shards for one run (PDES).  1 = the serial shared-engine path,
+  /// the reference semantics; N > 1 gives every host a private engine
+  /// shard and run_until() advances them on N worker threads (capped at
+  /// the host count) under the conservative-lookahead synchronizer, with
+  /// results bit-identical to sim_threads=1 (docs/PDES.md).  <= 0 picks
+  /// one thread per hardware core.
+  int sim_threads = 1;
 };
 
 class Cluster {
@@ -108,9 +123,26 @@ class Cluster {
 
   // -- Fleet access -----------------------------------------------------------
 
+  /// The control engine: all cluster-level events (balancer, migration
+  /// rounds, churn arrivals, scripted directives) live here.  In serial
+  /// mode it is also every host's engine.
   sim::Engine& engine() { return engine_; }
   sim::Time now() const { return engine_.now(); }
   int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  /// True when this fleet runs host shards on worker threads (resolved
+  /// from Config::sim_threads and the host count at construction).
+  bool sharded() const { return !shard_engines_.empty(); }
+  /// Worker threads the synchronizer uses; 1 in serial mode.
+  int sim_threads() const { return sim_threads_; }
+  /// The engine a host's own events live on: its shard when sharded, the
+  /// control engine otherwise.  Host-local setup events (staggered
+  /// workload starts, externally-owned app starters) must be scheduled
+  /// here, never on engine(), so each host's event order matches the
+  /// serial path (docs/PDES.md).
+  sim::Engine& host_engine(int id) {
+    return sharded() ? *shard_engines_.at(static_cast<std::size_t>(id))
+                     : engine_;
+  }
   hv::Hypervisor& host(int id) { return *hosts_.at(static_cast<std::size_t>(id)); }
   const std::string& host_name(int id) const {
     return host_names_.at(static_cast<std::size_t>(id));
@@ -119,6 +151,14 @@ class Cluster {
 
   /// Arm every host's timers (id order) and the cluster balancer.
   void start();
+
+  /// Advance the whole fleet to `deadline` (events exactly at `deadline`
+  /// fire, like Engine::run_until).  Serial mode runs the shared engine
+  /// directly; sharded mode alternates conservative host windows with
+  /// control-plane events under the rule "at equal times, control events
+  /// fire before host events" (docs/PDES.md proves this matches the
+  /// serial order).  Returns the number of events run, fleet-wide.
+  std::size_t run_until(sim::Time deadline);
 
   // -- Control plane ----------------------------------------------------------
 
@@ -217,7 +257,13 @@ class Cluster {
   void notify_check();
 
   Config config_;
-  sim::Engine engine_;
+  /// Engines must outlive hosts_ and vms_ (their destructors cancel
+  /// events), so they are declared first; ~Cluster also clears them all
+  /// before any member dies.
+  sim::Engine engine_;  ///< control engine (and the only one when serial)
+  std::vector<std::unique_ptr<sim::Engine>> shard_engines_;  ///< per host
+  std::unique_ptr<ShardPool> pool_;  ///< built on first sharded run_until
+  int sim_threads_ = 1;
   std::vector<std::unique_ptr<hv::Hypervisor>> hosts_;
   std::vector<std::string> host_names_;
   std::vector<std::unique_ptr<trace::Tracer>> tracers_;

@@ -11,9 +11,13 @@ FleetCheck::FleetCheck(Cluster& cluster) : cluster_(&cluster) {
   for (int id = 0; id < cluster.num_hosts(); ++id) {
     auto checker = std::make_unique<check::InvariantChecker>();
     checker->set_scope(cluster.host_name(id));
-    // One engine, one observer slot: host 0's checker watches event-time
-    // monotonicity for the whole fleet.
-    checker->attach(cluster.host(id), /*engine_observer=*/id == 0);
+    // One observer slot per engine: on a serial fleet every host shares
+    // one engine and host 0's checker watches event-time monotonicity for
+    // all of them; on a sharded (PDES) fleet each host has a private
+    // engine shard, so each host's checker observes its own.
+    const bool engine_observer =
+        id == 0 || &cluster.host_engine(id) != &cluster.host_engine(0);
+    checker->attach(cluster.host(id), engine_observer);
     checkers_.push_back(std::move(checker));
   }
   cluster.set_check(this);

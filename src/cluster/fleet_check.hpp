@@ -10,9 +10,11 @@
 // memory reservations must also net out: zero on hosts with no inbound
 // migration, never negative anywhere.
 //
-// The shared engine has a single observer slot, so host 0's checker takes
-// it (event-time monotonicity is an engine-wide property); every host still
-// gets the full HvObserver hook set.
+// Each engine has a single observer slot: on a serial fleet (one shared
+// engine) host 0's checker takes it, while a sharded PDES fleet gives every
+// host shard its own checker as observer — event-time monotonicity and
+// equal-time FIFO order are per-engine properties either way.  Every host
+// always gets the full HvObserver hook set.
 #pragma once
 
 #include <memory>

@@ -1,0 +1,73 @@
+#include "cluster/shard_pool.hpp"
+
+#include <algorithm>
+
+namespace vprobe::cluster {
+
+ShardPool::ShardPool(int threads) {
+  const int extra = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(extra));
+  for (int i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ShardPool::drain(std::unique_lock<std::mutex>& lk) {
+  while (next_ < n_) {
+    const int i = next_++;
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    if (err && !error_) error_ = err;
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ShardPool::parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  fn_ = &fn;
+  n_ = n;
+  next_ = 0;
+  pending_ = n;
+  error_ = nullptr;
+  work_cv_.notify_all();
+  drain(lk);  // the caller is a worker too
+  done_cv_.wait(lk, [this] { return pending_ == 0; });
+  n_ = 0;
+  fn_ = nullptr;
+  if (error_ != nullptr) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ShardPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] { return stop_ || next_ < n_; });
+    if (stop_) return;
+    drain(lk);
+  }
+}
+
+}  // namespace vprobe::cluster

@@ -14,6 +14,7 @@ namespace {
 constexpr const char* kValueKeys[] = {
     "jobs",   "repeats", "seed",     "scale", "instr-scale",
     "sched",  "json",    "period",   "ops",   "requests",
+    "sim-threads",
 };
 
 bool takes_value(const std::string& key) {
@@ -87,6 +88,7 @@ BenchFlags parse_bench_flags(const Cli& cli, double default_scale) {
   flags.jobs = cli.get_int("jobs", 1);
   flags.config.checks = cli.has("checks");
   flags.config.rate_cache = !cli.has("no-rate-cache");
+  flags.config.sim_threads = cli.get_int("sim-threads", 1);
   if (cli.has("json")) {
     const std::string path = cli.get("json", "-");
     flags.json_path = (path == "1") ? "-" : path;
@@ -114,6 +116,10 @@ bool maybe_print_help(const Cli& cli, const char* summary, const char* extra) {
       "Standard options (all accept --key=value or --key value):\n"
       "  --jobs N         run N simulations concurrently (0 = all host cores;\n"
       "                   results are bit-identical to --jobs 1)\n"
+      "  --sim-threads N  engine shards inside one cluster run (0 = all host\n"
+      "                   cores): hosts advance on N worker threads under the\n"
+      "                   conservative-lookahead synchronizer, bit-identical\n"
+      "                   to --sim-threads 1; single-machine runs ignore it\n"
       "  --repeats N      average every experiment over N seeds (default 3)\n"
       "  --seed S         base RNG seed (default 1)\n"
       "  --instr-scale X  scale app instruction budgets; 1.0 = paper-scale\n"

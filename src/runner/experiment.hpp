@@ -32,6 +32,12 @@ struct RunConfig {
   /// throw if any invariant is violated.  Hook-level checking needs a
   /// VPROBE_CHECKS build; other builds still get the final full sweep.
   bool checks = false;
+  /// Engine shards inside one cluster run (--sim-threads): 1 = serial
+  /// reference path; N > 1 runs host shards on worker threads under the
+  /// PDES synchronizer, bit-identical to 1 (docs/PDES.md).  Single-machine
+  /// experiments ignore this — their one event stream has nothing to
+  /// shard.
+  int sim_threads = 1;
 };
 
 /// SPEC CPU2006 workload (Figure 4): VM1 and VM2 run identical instance

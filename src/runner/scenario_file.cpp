@@ -355,6 +355,7 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
 
   cluster::Config ccfg;
   ccfg.seed = spec.seed;
+  ccfg.sim_threads = spec.sim_threads;
   ccfg.host_template.rate_cache = opts.rate_cache;
   if (spec.balance_enabled) {
     ccfg.balance_period = sim::Time::seconds(spec.balance_period_s);
@@ -419,7 +420,16 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
   const bool any_marked = std::any_of(spec.apps.begin(), spec.apps.end(),
                                       [](const auto& a) { return a.measure; });
 
-  std::vector<std::function<void()>> starters;
+  // Starters are host-local events: each is scheduled on its VM's
+  // admission host's engine (host_engine), not the control engine, so a
+  // sharded run fires them in the same per-host order as the serial path
+  // even when a start slot collides with that host's tick grid
+  // (docs/PDES.md).  In serial mode host_engine IS the shared engine.
+  struct Starter {
+    int host = 0;
+    std::function<void()> fn;
+  };
+  std::vector<Starter> starters;
   std::vector<std::string> started_movables;
   for (const auto& app : spec.apps) {
     const int vm_id = vm_ids.at(app.vm);
@@ -439,7 +449,7 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
       if (std::find(started_movables.begin(), started_movables.end(), app.vm) ==
           started_movables.end()) {
         started_movables.push_back(app.vm);
-        starters.push_back([&fleet, vm_id] { fleet.start_vm(vm_id); });
+        starters.push_back({host_id, [&fleet, vm_id] { fleet.start_vm(vm_id); }});
       }
       continue;
     }
@@ -459,7 +469,7 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
             hv, dom, *vcpus[slot], app.profile, spec.scale,
             app.vm + ":" + app.profile + "#" + std::to_string(i)));
         wl::SpecApp* sa = spec_apps.back().get();
-        starters.push_back([sa] { sa->start(); });
+        starters.push_back({host_id, [sa] { sa->start(); }});
         if (measure) {
           measured.push_back({[sa] { return sa->finished(); },
                               [sa] { return sa->runtime().to_seconds(); },
@@ -476,7 +486,7 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
                                     vcpus.end());
       npb_apps.push_back(std::make_unique<wl::NpbApp>(hv, dom, ncfg, subset));
       wl::NpbApp* na = npb_apps.back().get();
-      starters.push_back([na] { na->start(); });
+      starters.push_back({host_id, [na] { na->start(); }});
       if (measure) {
         measured.push_back({[na] { return na->finished(); },
                             [na] { return na->runtime().to_seconds(); },
@@ -487,20 +497,21 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
                                     vcpus.end());
       hogs.push_back(std::make_unique<wl::HungryLoops>(hv, dom, subset));
       wl::HungryLoops* h = hogs.back().get();
-      starters.push_back([h] { h->start(); });
+      starters.push_back({host_id, [h] { h->start(); }});
     } else {  // ticks
       std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
                                     vcpus.end());
       ticks.push_back(std::make_unique<wl::GuestOsTicks>(hv, dom, subset));
       wl::GuestOsTicks* t = ticks.back().get();
-      starters.push_back([t] { t->start(); });
+      starters.push_back({host_id, [t] { t->start(); }});
     }
   }
 
   fleet.start();
   int launch = 0;
-  for (auto& start : starters) {
-    fleet.engine().schedule(sim::Time::ms(10 * launch++), start);
+  for (auto& starter : starters) {
+    fleet.host_engine(starter.host)
+        .schedule(sim::Time::ms(10 * launch++), starter.fn);
   }
 
   // Scripted cross-host live migrations.

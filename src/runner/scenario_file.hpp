@@ -108,6 +108,12 @@ struct ScenarioSpec {
   bool balance_enabled = false;
   double balance_period_s = 0.5;
   double balance_threshold = 0.25;
+
+  /// Engine shards for cluster runs (no file directive — set from the
+  /// --sim-threads flag / RunConfig by the caller, since the scenario
+  /// describes the experiment and threading must not change its result:
+  /// any N is bit-identical to 1, see docs/PDES.md).
+  int sim_threads = 1;
 };
 
 /// Parse the scenario text.  Throws std::invalid_argument with a line

@@ -163,6 +163,22 @@ std::size_t Engine::run_until(Time deadline) {
   return n;
 }
 
+std::size_t Engine::run_before(Time deadline) {
+  std::size_t n = 0;
+  while (const HeapEntry* top = live_top()) {
+    if (top->when >= deadline) break;
+    pop_one();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+Time Engine::next_event_time() {
+  const HeapEntry* top = live_top();
+  return top != nullptr ? top->when : Time::max();
+}
+
 std::size_t Engine::run(std::size_t max_events) {
   std::size_t n = 0;
   while (n < max_events && pop_one()) ++n;

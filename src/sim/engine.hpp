@@ -135,6 +135,18 @@ class Engine {
   /// Events exactly at `deadline` do fire.  Returns the number of events run.
   std::size_t run_until(Time deadline);
 
+  /// Run events strictly before `deadline`, then advance the clock to
+  /// exactly `deadline`; events at `deadline` stay queued.  This is the
+  /// PDES window primitive (docs/PDES.md): host shards drain everything
+  /// below the next coupling point while the coupling event itself fires
+  /// on the control engine first.  Returns the number of events run.
+  std::size_t run_before(Time deadline);
+
+  /// Earliest pending event's time, skipping (and lazily freeing)
+  /// cancelled entries; Time::max() when the queue is empty.  The PDES
+  /// synchronizer sizes each conservative window with this.
+  Time next_event_time();
+
   /// Run until the queue is empty (use with care: periodic timers never end;
   /// `max_events` is a runaway backstop).
   std::size_t run(std::size_t max_events = SIZE_MAX);

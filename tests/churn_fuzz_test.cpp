@@ -26,9 +26,13 @@
 #include <gtest/gtest.h>
 
 #include "check/invariants.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/fleet_check.hpp"
 #include "hv/pcpu.hpp"
+#include "runner/fleet.hpp"
 #include "scenario_helpers.hpp"
 #include "sim/rng.hpp"
+#include "trace/digest.hpp"
 
 namespace vprobe::test {
 namespace {
@@ -179,6 +183,126 @@ TEST(ChurnFuzz, AllSchedulersAllSeeds) {
       run_churn_fuzz(kind, seed, fuzz_steps());
       if (HasFatalFailure()) return;
     }
+  }
+}
+
+// -- fleet-mode fuzz: lifecycle churn under the PDES synchronizer --------------
+
+/// Random control-plane ops (admit/destroy/pause/resume/migrate) against a
+/// 3-host mixed fleet, advanced through Cluster::run_until so sharded runs
+/// exercise the lookahead synchronizer between every op.  Returns the fleet
+/// digest — the caller asserts repeatability and serial/sharded identity.
+std::uint64_t run_fleet_churn_fuzz(std::uint64_t seed, int steps,
+                                   int sim_threads) {
+  SCOPED_TRACE("fleet seed=" + std::to_string(seed) +
+               " sim_threads=" + std::to_string(sim_threads) +
+               " (reproduce: churn_fuzz_test --seed=" + std::to_string(seed) +
+               " --steps=" + std::to_string(steps) + ")");
+  constexpr std::int64_t kMiB = 1024ll * 1024;
+  constexpr int kHosts = 3;
+
+  cluster::Config ccfg;
+  ccfg.seed = seed;
+  ccfg.sim_threads = sim_threads;
+  std::vector<cluster::HostSpec> hosts(kHosts);
+  hosts[1].machine = numa::MachineConfig::four_node_server();
+  cluster::Cluster fleet(ccfg, hosts,
+                         runner::scheduler_factory(runner::SchedKind::kCredit));
+  cluster::FleetCheck check(fleet);
+
+  struct FleetVm {
+    int id = 0;
+    bool paused = false;
+  };
+  std::vector<FleetVm> vms;
+  int next_vm = 0;
+
+  // The fuzzer's own decision stream — never the cluster's rng.
+  sim::Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull);
+
+  const auto admit_vm = [&] {
+    cluster::VmSpec vm;
+    vm.name = "fz" + std::to_string(next_vm++);
+    vm.mem_bytes = rng.uniform_int(64, 256) * kMiB;
+    vm.vcpus = static_cast<int>(rng.uniform_int(1, 2));
+    const bool ticker = rng.chance(0.4);
+    vm.workload = ticker ? runner::ticker_workload() : runner::hungry_workload();
+    vm.dirty_bytes_per_s = ticker ? runner::ticker_dirty_rate(vm.mem_bytes)
+                                  : runner::hungry_dirty_rate(vm.mem_bytes);
+    const int id = fleet.admit(std::move(vm));
+    if (id >= 0) vms.push_back({id, false});
+  };
+
+  // A resident baseline so every host has a stream from t=0.
+  for (int h = 0; h < kHosts; ++h) {
+    cluster::VmSpec vm;
+    vm.name = "base" + std::to_string(h);
+    vm.mem_bytes = 128 * kMiB;
+    vm.vcpus = 2;
+    vm.host = h;
+    vm.workload = runner::hungry_workload();
+    vm.dirty_bytes_per_s = runner::hungry_dirty_rate(vm.mem_bytes);
+    const int id = fleet.admit(std::move(vm));
+    EXPECT_GE(id, 0);
+    vms.push_back({id, false});
+  }
+  fleet.start();
+
+  for (int step = 0; step < steps; ++step) {
+    // Every advance goes through the synchronizer (windowed when sharded);
+    // ops run between windows with the worker threads quiescent.
+    fleet.run_until(fleet.now() + sim::Time::us(rng.uniform_int(500, 4000)));
+    const double op = rng.uniform();
+    if (op < 0.25) {
+      if (vms.size() < 9) admit_vm();
+    } else if (op < 0.40) {
+      if (!vms.empty()) {
+        const std::size_t pick = rng.pick_index(vms.size());
+        fleet.destroy(vms[pick].id);
+        vms.erase(vms.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    } else if (op < 0.55) {
+      if (!vms.empty()) {
+        FleetVm& vm = vms[rng.pick_index(vms.size())];
+        // pause() refuses mid-migration VMs; the refusal is deterministic.
+        if (!vm.paused && fleet.pause(vm.id)) vm.paused = true;
+      }
+    } else if (op < 0.70) {
+      if (!vms.empty()) {
+        FleetVm& vm = vms[rng.pick_index(vms.size())];
+        if (vm.paused && fleet.resume(vm.id)) vm.paused = false;
+      }
+    } else {
+      // Cross-host live migration to a random destination; same-host and
+      // mid-flight requests are refused, also deterministically.
+      if (!vms.empty()) {
+        const FleetVm& vm = vms[rng.pick_index(vms.size())];
+        fleet.migrate(vm.id, static_cast<int>(rng.uniform_int(0, kHosts - 1)));
+      }
+    }
+  }
+
+  // Teardown: destroy the survivors, drain in-flight migrations, sweep.
+  for (const FleetVm& vm : vms) fleet.destroy(vm.id);
+  vms.clear();
+  fleet.run_until(fleet.now() + sim::Time::ms(50));
+  EXPECT_EQ(check.total_violations(), 0u)
+      << "fleet invariants violated under churn";
+  return fleet.fleet_digest();
+}
+
+TEST(FleetChurnFuzz, ShardedMatchesSerialAndRepeats) {
+  const int steps = g_smoke ? (fuzz_steps() / 2) : fuzz_steps();
+  for (std::uint64_t seed : fuzz_seeds()) {
+    const std::uint64_t serial = run_fleet_churn_fuzz(seed, steps, 1);
+    const std::uint64_t serial2 = run_fleet_churn_fuzz(seed, steps, 1);
+    const std::uint64_t sharded = run_fleet_churn_fuzz(seed, steps, 3);
+    EXPECT_EQ(serial, serial2) << "serial fleet fuzz is not reproducible";
+    EXPECT_EQ(sharded, serial)
+        << "PDES fleet digest diverged from serial: "
+        << trace::digest_hex(sharded) << " vs " << trace::digest_hex(serial)
+        << " — see docs/PDES.md for the divergence debugging workflow";
+    if (HasFatalFailure()) return;
   }
 }
 

@@ -1,0 +1,359 @@
+// PDES suite: the sharded (per-host engine) cluster path must be
+// bit-identical to the serial shared-engine reference for every scheduler,
+// seed, fleet size, and thread count — fleet digest, per-host streams, and
+// every rollup metric.  Covers the differential sweep (6 schedulers x 3
+// seeds x {2,4}-host fleets with churn + a scripted migration under
+// FleetCheck), the lookahead window mechanics (run_before/next_event_time),
+// thread-count invariance, and the fleet_mix PDES golden.
+//
+//   ctest -L pdes
+//
+// The golden is re-blessed like the cluster traces (the pinned value must
+// equal the serial `fleet_mix` entry — the PDES contract IS that equality):
+//   VPROBE_UPDATE_GOLDEN=1 ctest -L pdes
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/fleet_check.hpp"
+#include "cluster/shard_pool.hpp"
+#include "runner/churn.hpp"
+#include "runner/fleet.hpp"
+#include "runner/scenario.hpp"
+#include "runner/scenario_file.hpp"
+#include "sim/engine.hpp"
+#include "trace/digest.hpp"
+
+namespace vprobe {
+namespace {
+
+constexpr std::int64_t kMiB = 1024ll * 1024;
+
+// -- Engine window primitives --------------------------------------------------
+
+TEST(EngineWindow, RunBeforeStopsAtTheDeadlineEvent) {
+  sim::Engine engine;
+  std::vector<int> fired;
+  engine.schedule_at(sim::Time::ms(10), [&] { fired.push_back(10); });
+  engine.schedule_at(sim::Time::ms(20), [&] { fired.push_back(20); });
+  engine.schedule_at(sim::Time::ms(30), [&] { fired.push_back(30); });
+
+  // Exclusive deadline: the t=20 event is the coupling point and must NOT
+  // fire — it belongs to the synchronizer's next window.
+  EXPECT_EQ(engine.run_before(sim::Time::ms(20)), 1u);
+  EXPECT_EQ(fired, std::vector<int>({10}));
+  EXPECT_EQ(engine.now(), sim::Time::ms(20)) << "clock advances to the window";
+  EXPECT_EQ(engine.next_event_time(), sim::Time::ms(20));
+
+  // run_until is inclusive: it drains the rest.
+  engine.run_until(sim::Time::ms(30));
+  EXPECT_EQ(fired, std::vector<int>({10, 20, 30}));
+  EXPECT_EQ(engine.next_event_time(), sim::Time::max()) << "empty queue";
+  engine.clear();
+}
+
+TEST(EngineWindow, NextEventTimeSkipsCancelledEntries) {
+  sim::Engine engine;
+  auto h = engine.schedule_at(sim::Time::ms(5), [] {});
+  engine.schedule_at(sim::Time::ms(9), [] {});
+  h.cancel();
+  EXPECT_EQ(engine.next_event_time(), sim::Time::ms(9));
+  engine.clear();
+}
+
+// -- ShardPool ----------------------------------------------------------------
+
+TEST(ShardPoolTest, RunsEveryIndexExactlyOnceAndRethrows) {
+  cluster::ShardPool pool(4);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(64, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+
+  // The pool is reusable and propagates worker exceptions to the caller.
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](int i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  std::fill(hits.begin(), hits.end(), 0);
+  pool.parallel_for(16, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1);
+}
+
+// -- Differential fleet runner --------------------------------------------------
+
+struct FleetRun {
+  std::uint64_t digest = 0;
+  std::uint64_t records = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t precopy_rounds = 0;
+  double migrated_bytes = 0.0;
+  std::uint64_t balance_actions = 0;
+  std::uint64_t violations = 0;
+  std::vector<std::uint64_t> host_digests;
+  std::vector<double> host_busy_s;
+
+  bool operator==(const FleetRun& o) const {
+    return digest == o.digest && records == o.records &&
+           admitted == o.admitted &&
+           migrations_completed == o.migrations_completed &&
+           precopy_rounds == o.precopy_rounds &&
+           migrated_bytes == o.migrated_bytes &&
+           balance_actions == o.balance_actions &&
+           host_digests == o.host_digests && host_busy_s == o.host_busy_s;
+  }
+};
+
+/// One heterogeneous fleet under churn, a scripted cross-host migration,
+/// and the balancer — the cluster couplings the lookahead synchronizer has
+/// to serialize.  `sim_threads` is the only degree of freedom under test.
+FleetRun run_fleet(runner::SchedKind sched, std::uint64_t seed, int num_hosts,
+                   int sim_threads) {
+  cluster::Config ccfg;
+  ccfg.seed = seed;
+  ccfg.sim_threads = sim_threads;
+  ccfg.balance_period = sim::Time::ms(150);
+  ccfg.balance_threshold = 0.2;
+
+  std::vector<cluster::HostSpec> hosts(static_cast<std::size_t>(num_hosts));
+  for (int id = 1; id < num_hosts; id += 2) {
+    hosts[static_cast<std::size_t>(id)].machine =
+        numa::MachineConfig::four_node_server();
+  }
+  cluster::Cluster fleet(ccfg, hosts, runner::scheduler_factory(sched));
+  cluster::FleetCheck check(fleet);
+
+  int mover = -1;
+  for (int id = 0; id < num_hosts; ++id) {
+    cluster::VmSpec burner;
+    burner.name = "burner" + std::to_string(id);
+    burner.mem_bytes = 256 * kMiB;
+    burner.vcpus = 2;
+    burner.host = id;
+    burner.workload = runner::hungry_workload();
+    burner.dirty_bytes_per_s = runner::hungry_dirty_rate(burner.mem_bytes);
+    const int vm = fleet.admit(std::move(burner));
+    if (id == 0) mover = vm;
+
+    cluster::VmSpec ticker;
+    ticker.name = "ticker" + std::to_string(id);
+    ticker.mem_bytes = 128 * kMiB;
+    ticker.vcpus = 2;
+    ticker.host = id;
+    ticker.workload = runner::ticker_workload();
+    ticker.dirty_bytes_per_s = runner::ticker_dirty_rate(ticker.mem_bytes);
+    fleet.admit(std::move(ticker));
+  }
+  fleet.start();
+
+  fleet.engine().schedule_at(sim::Time::ms(50),
+                             [&fleet, mover] { fleet.migrate(mover, 1); });
+
+  runner::ChurnOptions copts;
+  copts.seed = seed;
+  copts.mean_interarrival = sim::Time::ms(30);
+  copts.mean_lifetime = sim::Time::ms(80);
+  copts.max_live = 2 * num_hosts;
+  runner::ChurnDriver churn(fleet, copts);
+  churn.start();
+
+  // 256 MiB over the 1.25 GB/s migration NIC needs ~0.27 s of pre-copy +
+  // cutover; 450 ms covers it with margin.
+  runner::run_cluster_until(fleet, nullptr, sim::Time::ms(450));
+  churn.drain();
+
+  FleetRun out;
+  out.digest = fleet.fleet_digest();
+  for (int id = 0; id < num_hosts; ++id) {
+    out.records += fleet.tracer(id).total_recorded();
+    out.host_digests.push_back(fleet.tracer(id).digest());
+    out.host_busy_s.push_back(fleet.host(id).total_busy_time().to_seconds());
+  }
+  out.admitted = fleet.admitted();
+  out.migrations_completed = fleet.migrations_completed();
+  out.precopy_rounds = fleet.precopy_rounds();
+  out.migrated_bytes = fleet.migrated_bytes();
+  out.balance_actions = fleet.balance_actions();
+  out.violations = check.total_violations();
+  return out;
+}
+
+TEST(PdesDifferential, ShardedMatchesSerialForEverySchedulerSeedAndFleet) {
+  for (const runner::SchedKind sched : runner::paper_schedulers()) {
+    for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+      for (const int num_hosts : {2, 4}) {
+        SCOPED_TRACE(std::string(runner::to_string(sched)) + " seed " +
+                     std::to_string(seed) + " hosts " +
+                     std::to_string(num_hosts));
+        const FleetRun serial = run_fleet(sched, seed, num_hosts, 1);
+        const FleetRun sharded = run_fleet(sched, seed, num_hosts, num_hosts);
+
+        ASSERT_GT(serial.records, 0u);
+        EXPECT_GE(serial.migrations_completed, 1u)
+            << "the sweep must exercise a cross-host live migration";
+        EXPECT_EQ(serial.violations, 0u);
+        EXPECT_EQ(sharded.violations, 0u)
+            << "FleetCheck must stay clean on every shard";
+        EXPECT_TRUE(sharded == serial)
+            << "--sim-threads N diverged from the serial reference:\n"
+            << "  serial  " << trace::digest_hex(serial.digest) << " ("
+            << serial.records << " records)\n"
+            << "  sharded " << trace::digest_hex(sharded.digest) << " ("
+            << sharded.records << " records)\n"
+            << "see docs/PDES.md for the divergence debugging workflow";
+      }
+    }
+  }
+}
+
+TEST(PdesDifferential, ThreadCountNeverChangesTheStream) {
+  // Oversubscription (threads > hosts, threads > cores) and every count in
+  // between land on the same stream: thread count only changes who pops a
+  // shard, never the order within one.
+  const FleetRun serial = run_fleet(runner::SchedKind::kVprobe, 9, 4, 1);
+  for (const int threads : {2, 3, 4, 8}) {
+    SCOPED_TRACE("sim_threads " + std::to_string(threads));
+    EXPECT_TRUE(run_fleet(runner::SchedKind::kVprobe, 9, 4, threads) == serial);
+  }
+}
+
+TEST(PdesDifferential, ShardedRunsAreReproducible) {
+  const FleetRun a = run_fleet(runner::SchedKind::kCredit, 3, 4, 4);
+  const FleetRun b = run_fleet(runner::SchedKind::kCredit, 3, 4, 4);
+  EXPECT_TRUE(a == b) << "back-to-back sharded runs must be bit-identical";
+}
+
+// -- Scenario-level: fleet_mix under PDES ---------------------------------------
+
+std::string scenario_dir() { return std::string(VPROBE_SCENARIO_DIR); }
+std::string golden_path() {
+  return std::string(VPROBE_GOLDEN_DIR) + "/cluster.txt";
+}
+
+runner::ScenarioSpec load_fleet_mix() {
+  std::ifstream in(scenario_dir() + "/fleet_mix.scn");
+  EXPECT_TRUE(in.is_open()) << "missing " << scenario_dir() << "/fleet_mix.scn";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return runner::parse_scenario(buf.str());
+}
+
+struct GoldenEntry {
+  std::uint64_t records = 0;
+  std::string digest;
+};
+
+std::map<std::string, GoldenEntry> load_goldens() {
+  std::map<std::string, GoldenEntry> goldens;
+  std::ifstream in(golden_path());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    GoldenEntry entry;
+    if (fields >> key >> entry.records >> entry.digest) goldens[key] = entry;
+  }
+  return goldens;
+}
+
+void save_goldens(const std::map<std::string, GoldenEntry>& goldens) {
+  std::ofstream out(golden_path());
+  out << "# Cluster golden digests: <key> <records> <fnv1a-64 hex>\n"
+      << "# fleet_mix: examples/scenarios/fleet_mix.scn — 4 heterogeneous\n"
+      << "# hosts, scripted live migration, balancer, churn; records is the\n"
+      << "# fleet-wide trace count, digest the host-id-ordered fleet fold.\n"
+      << "# fleet_mix_pdes: the same scenario at --sim-threads 4; the PDES\n"
+      << "# contract requires it to EQUAL fleet_mix byte for byte.\n"
+      << "# Regenerate: VPROBE_UPDATE_GOLDEN=1 ctest -L cluster -L pdes\n";
+  for (const auto& [key, entry] : goldens) {
+    out << key << ' ' << entry.records << ' ' << entry.digest << '\n';
+  }
+}
+
+bool update_mode() { return std::getenv("VPROBE_UPDATE_GOLDEN") != nullptr; }
+
+TEST(FleetMixPdes, FullMetricsMatchSerialPath) {
+  runner::ScenarioSpec spec = load_fleet_mix();
+  ASSERT_TRUE(spec.cluster_mode());
+  spec.sim_threads = 1;
+  const stats::RunMetrics serial = runner::run_scenario(spec);
+  spec.sim_threads = 4;
+  const stats::RunMetrics sharded = runner::run_scenario(spec);
+
+  ASSERT_TRUE(serial.completed);
+  ASSERT_TRUE(sharded.completed);
+  EXPECT_EQ(sharded.app_runtime_s, serial.app_runtime_s);
+  EXPECT_EQ(sharded.sim_seconds, serial.sim_seconds);
+  EXPECT_EQ(sharded.migrations, serial.migrations);
+  EXPECT_EQ(sharded.cross_node_migrations, serial.cross_node_migrations);
+  EXPECT_EQ(sharded.total_mem_accesses, serial.total_mem_accesses);
+  EXPECT_EQ(sharded.remote_mem_accesses, serial.remote_mem_accesses);
+  EXPECT_EQ(sharded.cluster.fleet_digest, serial.cluster.fleet_digest);
+  EXPECT_EQ(sharded.cluster.admitted, serial.cluster.admitted);
+  EXPECT_EQ(sharded.cluster.rejected, serial.cluster.rejected);
+  EXPECT_EQ(sharded.cluster.migrations_started, serial.cluster.migrations_started);
+  EXPECT_EQ(sharded.cluster.migrations_completed,
+            serial.cluster.migrations_completed);
+  EXPECT_EQ(sharded.cluster.precopy_rounds, serial.cluster.precopy_rounds);
+  EXPECT_EQ(sharded.cluster.migrated_bytes, serial.cluster.migrated_bytes);
+  EXPECT_EQ(sharded.cluster.balance_actions, serial.cluster.balance_actions);
+  ASSERT_EQ(sharded.hosts.size(), serial.hosts.size());
+  for (std::size_t i = 0; i < serial.hosts.size(); ++i) {
+    EXPECT_EQ(sharded.hosts[i].trace_digest, serial.hosts[i].trace_digest)
+        << "host " << i << " stream diverged";
+    EXPECT_EQ(sharded.hosts[i].trace_records, serial.hosts[i].trace_records);
+    EXPECT_EQ(sharded.hosts[i].busy_s, serial.hosts[i].busy_s);
+    EXPECT_EQ(sharded.hosts[i].migrations, serial.hosts[i].migrations);
+  }
+}
+
+TEST(FleetMixPdes, GoldenFleetDigestAtFourThreads) {
+  runner::ScenarioSpec spec = load_fleet_mix();
+  ASSERT_TRUE(spec.cluster_mode());
+  ASSERT_GE(spec.num_hosts(), 4);
+  spec.sim_threads = 4;
+  const stats::RunMetrics m = runner::run_scenario(spec);
+  ASSERT_TRUE(m.completed);
+  ASSERT_GE(m.cluster.migrations_completed, 1u);
+
+  GoldenEntry actual;
+  for (const auto& h : m.hosts) actual.records += h.trace_records;
+  actual.digest = trace::digest_hex(m.cluster.fleet_digest);
+  ASSERT_GT(actual.records, 0u);
+
+  auto goldens = load_goldens();
+  if (update_mode()) {
+    goldens["fleet_mix_pdes"] = actual;
+    save_goldens(goldens);
+    GTEST_SKIP() << "golden updated: fleet_mix_pdes = " << actual.digest;
+  }
+  ASSERT_TRUE(goldens.count("fleet_mix_pdes"))
+      << "no golden for 'fleet_mix_pdes' in " << golden_path()
+      << " — run VPROBE_UPDATE_GOLDEN=1 ctest -L pdes";
+  EXPECT_EQ(goldens["fleet_mix_pdes"].records, actual.records);
+  EXPECT_EQ(goldens["fleet_mix_pdes"].digest, actual.digest)
+      << "sharded fleet stream changed. If intentional, regenerate with "
+      << "VPROBE_UPDATE_GOLDEN=1 ctest -L pdes";
+
+  // The whole point: the PDES golden IS the serial golden.  A PR that
+  // regenerates one without the other broke determinism, not the trace.
+  ASSERT_TRUE(goldens.count("fleet_mix"))
+      << "serial golden missing — run VPROBE_UPDATE_GOLDEN=1 ctest -L cluster";
+  EXPECT_EQ(goldens["fleet_mix"].records, actual.records)
+      << "--sim-threads 4 record count diverged from the serial golden";
+  EXPECT_EQ(goldens["fleet_mix"].digest, actual.digest)
+      << "--sim-threads 4 fleet digest diverged from the serial golden";
+}
+
+}  // namespace
+}  // namespace vprobe
