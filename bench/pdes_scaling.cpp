@@ -5,16 +5,25 @@
 //
 // Strong scaling: a fixed 8-host fleet (2 VMs/host + churn + balancer + one
 // scripted live migration) swept over thread counts; every row must produce
-// the serial run's fleet digest bit for bit.
+// the serial run's fleet digest bit for bit.  A final "4-nobatch" row runs
+// 4 threads with --no-window-batch semantics, pinning the batched and
+// unbatched synchronizer loops to the same stream.
 //
 // Weak scaling: hosts == threads, so per-thread work stays constant while
-// the synchronizer's coupling traffic grows with the fleet.
+// the synchronizer's coupling traffic grows with the fleet.  Columns
+// include us/record (the normalized synchronizer cost) and the batched
+// loop's coalescing counters.
 //
 // --smoke gates (exit nonzero on violation):
 //   * serial (threads=1) and sharded (threads=4) runs of the 8-host fleet
 //     produce bit-identical fleet digests and record counts;
+//   * the batch-off (unbatched-window) run reproduces the same digest;
 //   * zero FleetCheck invariant violations on every shard;
-//   * the scripted live migration completes under the synchronizer.
+//   * the scripted live migration completes under the synchronizer;
+//   * a control-heavy fleet (2 ms churn + 50 ms balancer, the
+//     clustered_control regime) actually coalesces: windows_coalesced > 0
+//     and barriers < control events — the batched loop demonstrably pays
+//     fewer shard passes than the control plane fires events.
 //
 // NOTE: real speedup needs real cores.  On a 1-hardware-thread builder the
 // sharded rows measure synchronizer overhead, not parallelism — the digest
@@ -43,14 +52,29 @@ struct PdesResult {
   std::uint64_t digest = 0;
   std::uint64_t migrations_completed = 0;
   std::uint64_t violations = 0;
+  cluster::SyncStats sync;
+
+  double us_per_record() const {
+    return records > 0 ? 1000.0 * wall_ms / static_cast<double>(records) : 0.0;
+  }
+};
+
+struct FleetOptions {
+  bool window_batch = true;
+  /// Clustered-control regime: churn interarrivals well under the 10 ms
+  /// host tick grids plus a tight balancer, so control events outnumber
+  /// host events and the batched loop coalesces (see docs/PDES.md).
+  bool control_heavy = false;
 };
 
 PdesResult run_fleet(int num_hosts, int sim_threads, std::uint64_t seed,
-                     sim::Time horizon) {
+                     sim::Time horizon, FleetOptions opts = {}) {
   cluster::Config ccfg;
   ccfg.seed = seed;
   ccfg.sim_threads = sim_threads;
-  ccfg.balance_period = sim::Time::ms(300);
+  ccfg.window_batch = opts.window_batch;
+  ccfg.balance_period =
+      opts.control_heavy ? sim::Time::ms(50) : sim::Time::ms(300);
   ccfg.balance_threshold = 0.2;
 
   // Heterogeneous fleet: alternate the paper's Xeon with the 4-node box.
@@ -94,8 +118,10 @@ PdesResult run_fleet(int num_hosts, int sim_threads, std::uint64_t seed,
 
   runner::ChurnOptions copts;
   copts.seed = seed;
-  copts.mean_interarrival = sim::Time::ms(30);
-  copts.mean_lifetime = sim::Time::ms(80);
+  copts.mean_interarrival =
+      opts.control_heavy ? sim::Time::ms(2) : sim::Time::ms(30);
+  copts.mean_lifetime =
+      opts.control_heavy ? sim::Time::ms(8) : sim::Time::ms(80);
   copts.max_live = 2 * num_hosts;
   runner::ChurnDriver churn(fleet, copts);
   churn.start();
@@ -117,6 +143,7 @@ PdesResult run_fleet(int num_hosts, int sim_threads, std::uint64_t seed,
   out.digest = fleet.fleet_digest();
   out.migrations_completed = fleet.migrations_completed();
   out.violations = check.total_violations();
+  out.sync = fleet.sync_stats();
   return out;
 }
 
@@ -124,6 +151,13 @@ int smoke(std::uint64_t seed) {
   const sim::Time horizon = sim::Time::ms(700);
   const PdesResult serial = run_fleet(8, 1, seed, horizon);
   const PdesResult sharded = run_fleet(8, 4, seed, horizon);
+  FleetOptions nobatch;
+  nobatch.window_batch = false;
+  const PdesResult unbatched = run_fleet(8, 4, seed, horizon, nobatch);
+  FleetOptions heavy;
+  heavy.control_heavy = true;
+  const PdesResult dense = run_fleet(4, 4, seed, sim::Time::ms(400), heavy);
+  const PdesResult dense_serial = run_fleet(4, 1, seed, sim::Time::ms(400), heavy);
   int failures = 0;
   auto gate = [&failures](bool ok, const char* what) {
     std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
@@ -137,12 +171,26 @@ int smoke(std::uint64_t seed) {
        "scripted live migration completed under the synchronizer");
   gate(sharded.digest == serial.digest && sharded.records == serial.records,
        "--sim-threads 4 is bit-identical to --sim-threads 1 (fleet digest)");
+  gate(unbatched.digest == serial.digest && unbatched.records == serial.records,
+       "--no-window-batch is bit-identical too (batched == unbatched loop)");
+  gate(dense.digest == dense_serial.digest &&
+           dense.records == dense_serial.records,
+       "control-heavy fleet: sharded digest matches serial");
+  gate(dense.sync.windows_coalesced > 0,
+       "control-heavy fleet coalesces control bursts (windows_coalesced > 0)");
+  gate(dense.sync.barriers < dense.sync.control_events,
+       "control-heavy fleet pays fewer barriers than control events");
   std::printf("smoke: %s (digest %s, %llu records, serial %.1f ms,"
-              " sharded %.1f ms)\n",
+              " sharded %.1f ms; dense fleet: %llu/%llu windows coalesced,"
+              " %llu barriers for %llu control events)\n",
               failures == 0 ? "PASS" : "FAIL",
               trace::digest_hex(serial.digest).c_str(),
               static_cast<unsigned long long>(serial.records), serial.wall_ms,
-              sharded.wall_ms);
+              sharded.wall_ms,
+              static_cast<unsigned long long>(dense.sync.windows_coalesced),
+              static_cast<unsigned long long>(dense.sync.windows),
+              static_cast<unsigned long long>(dense.sync.barriers),
+              static_cast<unsigned long long>(dense.sync.control_events));
   return failures == 0 ? 0 : 1;
 }
 
@@ -154,7 +202,8 @@ int main(int argc, char** argv) {
   runner::Cli cli(argc, argv);
   if (runner::maybe_print_help(
           cli, "PDES scaling: sharded engine wall-clock vs the serial path",
-          "  --smoke             8-host gate: digest identity at 4 threads\n"
+          "  --smoke             8-host gate: digest identity at 4 threads,\n"
+          "                      batch-on == batch-off, coalescing proven\n"
           "  --horizon S         simulated seconds per fleet (default 0.7)\n"
           "  --max-threads N     largest shard count swept (default 8)\n")) {
     return 0;
@@ -174,35 +223,43 @@ int main(int argc, char** argv) {
 
   const PdesResult base = run_fleet(8, 1, seed, horizon);
   stats::Table strong({"threads", "wall (ms)", "speedup", "records",
-                       "digest ok"});
+                       "coalesced", "barriers", "digest ok"});
   strong.add_row({"1", stats::fmt(base.wall_ms, "%.1f"), "1.00",
-                  std::to_string(base.records), "ref"});
+                  std::to_string(base.records), "-", "-", "ref"});
   bool all_identical = true;
-  for (int t = 2; t <= max_threads; t *= 2) {
-    const PdesResult r = run_fleet(8, t, seed, horizon);
+  auto strong_row = [&](const char* label, const PdesResult& r) {
     const bool same = r.digest == base.digest && r.records == base.records;
     all_identical = all_identical && same;
-    strong.add_row({std::to_string(t), stats::fmt(r.wall_ms, "%.1f"),
+    strong.add_row({label, stats::fmt(r.wall_ms, "%.1f"),
                     stats::fmt(r.wall_ms > 0 ? base.wall_ms / r.wall_ms : 0.0,
                                "%.2f"),
-                    std::to_string(r.records), same ? "yes" : "NO"});
+                    std::to_string(r.records),
+                    std::to_string(r.sync.windows_coalesced),
+                    std::to_string(r.sync.barriers), same ? "yes" : "NO"});
+  };
+  for (int t = 2; t <= max_threads; t *= 2) {
+    strong_row(std::to_string(t).c_str(), run_fleet(8, t, seed, horizon));
+  }
+  {
+    FleetOptions nobatch;
+    nobatch.window_batch = false;
+    strong_row("4-nobatch", run_fleet(8, 4, seed, horizon, nobatch));
   }
   strong.print();
 
   std::printf("\n=============================================================\n");
   std::printf("PDES weak scaling (hosts == threads, 2 VMs/host + churn)\n");
   std::printf("=============================================================\n\n");
-  stats::Table weak({"hosts=threads", "wall (ms)", "records",
-                     "records/s wall"});
+  stats::Table weak({"hosts=threads", "wall (ms)", "records", "us/record",
+                     "coalesced", "barriers", "skips"});
   for (int n = 1; n <= max_threads; n *= 2) {
     const PdesResult r = run_fleet(n, n, seed, horizon);
-    weak.add_row(
-        {std::to_string(n), stats::fmt(r.wall_ms, "%.1f"),
-         std::to_string(r.records),
-         stats::fmt(r.wall_ms > 0
-                        ? 1000.0 * static_cast<double>(r.records) / r.wall_ms
-                        : 0.0,
-                    "%.0f")});
+    weak.add_row({std::to_string(n), stats::fmt(r.wall_ms, "%.1f"),
+                  std::to_string(r.records),
+                  stats::fmt(r.us_per_record(), "%.2f"),
+                  std::to_string(r.sync.windows_coalesced),
+                  std::to_string(r.sync.barriers),
+                  std::to_string(r.sync.shard_skips)});
   }
   weak.print();
 

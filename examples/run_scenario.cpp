@@ -50,7 +50,9 @@ int main(int argc, char** argv) {
           " the scenario's base seed)\n"
           "  --hosts-csv F    cluster scenarios: per-host metrics to F\n"
           "  --sim-threads N  cluster scenarios: engine shards (PDES);\n"
-          "                   bit-identical to --sim-threads 1"))
+          "                   bit-identical to --sim-threads 1\n"
+          "  --no-window-batch  sharded cluster scenarios: disable batched\n"
+          "                   windows (bit-identical either way)"))
     return 0;
 
   std::string text;
@@ -83,12 +85,14 @@ int main(int argc, char** argv) {
   cfg.seed = spec.seed;
   cfg.repeats = cli.get_int("repeats", 1);
   cfg.sim_threads = cli.get_int("sim-threads", 1);
+  cfg.window_batch = !cli.has("no-window-batch");
   runner::RunPlan plan;
   plan.add(runner::RunSpec::custom_job(
       cfg, "scenario", [&spec](const runner::RunConfig& c) {
         runner::ScenarioSpec seeded = spec;
         seeded.seed = c.seed;
         seeded.sim_threads = c.sim_threads;
+        seeded.window_batch = c.window_batch;
         return runner::run_scenario(seeded);
       }));
   runner::ExecutorOptions opts;

@@ -32,7 +32,7 @@ echo "== lifecycle churn fuzzer smoke (invariants under create/destroy/pause) ==
 echo "== fleet scaling smoke (cluster determinism + live migration + FleetCheck) =="
 ./build/bench/scaling_machines --smoke
 
-echo "== PDES scaling smoke (sharded-vs-serial digest identity at N threads) =="
+echo "== PDES scaling smoke (sharded/batched/unbatched digest identity + coalescing proof) =="
 ./build/bench/pdes_scaling --smoke
 
 echo "== tsan preset: parallel-executor tests under ThreadSanitizer =="

@@ -86,6 +86,103 @@ void Cluster::start() {
 std::size_t Cluster::run_until(sim::Time deadline) {
   if (!sharded()) return engine_.run_until(deadline);
   if (pool_ == nullptr) pool_ = std::make_unique<ShardPool>(sim_threads_);
+  return config_.window_batch ? run_until_batched(deadline)
+                              : run_until_unbatched(deadline);
+}
+
+// Batched demand-driven windows.  Same conservative structure as the
+// unbatched loop — shards drain strictly below the coupling point, then the
+// control engine fires everything at it, so at equal times control events
+// precede host events exactly as serial seq order dictates (docs/PDES.md) —
+// but the shard pass is demand-driven: a cached per-shard horizon decides
+// which shards have work below the coupling point.  Shards without work are
+// advanced in O(1) from this thread (mandatory: control callbacks call into
+// host code that reads the shard clock and schedules relative events), and
+// when *no* shard has work the control event fires with no barrier at all —
+// consecutive control events coalesce into one serial burst.  The cache is
+// sound because arming is the only operation that lowers a true horizon and
+// arming always bumps Engine::arm_count(); firing and cancelling only raise
+// it, making a stale entry stale-low — a harmless no-op dispatch.
+std::size_t Cluster::run_until_batched(sim::Time deadline) {
+  const auto n = static_cast<std::size_t>(num_hosts());
+  if (horizons_.size() != n) horizons_.assign(n, ShardHorizon{});
+  std::vector<std::size_t> ran(n, 0);
+  std::vector<int> busy;
+  busy.reserve(n);
+
+  const auto refresh = [this](std::size_t id) {
+    sim::Engine& shard = *shard_engines_[id];
+    horizons_[id].next = shard.next_event_time();
+    horizons_[id].arm_seq = shard.arm_count();
+  };
+  // Collect shards with events below `bound` into busy; advance the rest to
+  // `bound` directly (skip).  Workers are quiescent here, so the refresh is
+  // a plain heap-top peek on the caller's thread.
+  const auto partition = [&](sim::Time bound, bool inclusive) {
+    busy.clear();
+    for (std::size_t id = 0; id < n; ++id) {
+      if (horizons_[id].arm_seq != shard_engines_[id]->arm_count()) {
+        refresh(id);
+      }
+      const sim::Time next = horizons_[id].next;
+      if (inclusive ? next <= bound : next < bound) {
+        busy.push_back(static_cast<int>(id));
+      } else {
+        shard_engines_[id]->advance_to(bound);
+        ++sync_.shard_skips;
+      }
+    }
+  };
+
+  for (;;) {
+    const sim::Time coupling = engine_.next_event_time();
+    if (coupling > deadline) break;
+    ++sync_.windows;
+    partition(coupling, /*inclusive=*/false);
+    if (busy.empty()) {
+      // Coalesced window: every shard is already parked at the coupling
+      // point, so the control event fires back-to-back with the previous
+      // one — no pool barrier, no wakeups.
+      ++sync_.windows_coalesced;
+    } else {
+      ++sync_.barriers;
+      sync_.shard_dispatches += busy.size();
+      pool_->parallel_for(static_cast<int>(busy.size()), [&](int bi) {
+        const auto id = static_cast<std::size_t>(busy[static_cast<std::size_t>(bi)]);
+        ran[id] += shard_engines_[id]->run_before(coupling);
+        // Each worker re-peeks its own shard's heap top; the pool barrier
+        // publishes the write before the control thread reads it.
+        refresh(id);
+      });
+    }
+    const std::size_t fired = engine_.run_until(coupling);
+    sync_.control_events += fired;
+    ran[0] += fired;
+  }
+  // No control events remain at or before the deadline; finish the busy
+  // hosts inclusively so events exactly at `deadline` fire, like the serial
+  // run_until contract, and advance the idle ones.
+  partition(deadline, /*inclusive=*/true);
+  if (!busy.empty()) {
+    ++sync_.barriers;
+    sync_.shard_dispatches += busy.size();
+    pool_->parallel_for(static_cast<int>(busy.size()), [&](int bi) {
+      const auto id = static_cast<std::size_t>(busy[static_cast<std::size_t>(bi)]);
+      ran[id] += shard_engines_[id]->run_until(deadline);
+      refresh(id);
+    });
+  }
+  sync_.control_events += engine_.run_until(deadline);  // clock only; empty
+  std::size_t total = 0;
+  for (std::size_t c : ran) total += c;
+  return total;
+}
+
+// The pre-batching loop (--no-window-batch): one full all-shard barrier per
+// control event.  Kept as the semantic reference for the differential sweep
+// and as the escape hatch; it maintains the same counters so batch-on vs
+// batch-off comparisons quantify the saving.
+std::size_t Cluster::run_until_unbatched(sim::Time deadline) {
   const int n = num_hosts();
   std::vector<std::size_t> ran(static_cast<std::size_t>(n), 0);
   // Conservative windows: every shard may safely run to the time of the
@@ -100,23 +197,41 @@ std::size_t Cluster::run_until(sim::Time deadline) {
   for (;;) {
     const sim::Time coupling = engine_.next_event_time();
     if (coupling > deadline) break;
+    ++sync_.windows;
+    ++sync_.barriers;
+    sync_.shard_dispatches += static_cast<std::uint64_t>(n);
     pool_->parallel_for(n, [&](int id) {
       ran[static_cast<std::size_t>(id)] +=
           shard_engines_[static_cast<std::size_t>(id)]->run_before(coupling);
     });
-    ran[0] += engine_.run_until(coupling);
+    const std::size_t fired = engine_.run_until(coupling);
+    sync_.control_events += fired;
+    ran[0] += fired;
   }
   // No control events remain at or before the deadline; finish the hosts
   // inclusively so events exactly at `deadline` fire, like the serial
   // run_until contract.
+  ++sync_.barriers;
+  sync_.shard_dispatches += static_cast<std::uint64_t>(n);
   pool_->parallel_for(n, [&](int id) {
     ran[static_cast<std::size_t>(id)] +=
         shard_engines_[static_cast<std::size_t>(id)]->run_until(deadline);
   });
-  engine_.run_until(deadline);  // advances the control clock; queue is empty
+  sync_.control_events += engine_.run_until(deadline);  // clock only; empty
   std::size_t total = 0;
   for (std::size_t c : ran) total += c;
   return total;
+}
+
+SyncStats Cluster::sync_stats() const {
+  SyncStats out = sync_;
+  if (pool_ != nullptr) {
+    const ShardPool::Stats ps = pool_->stats();
+    out.pool_wakeups = ps.wakeups;
+    out.pool_spin_grabs = ps.spin_grabs;
+    out.pool_parks = ps.parks;
+  }
+  return out;
 }
 
 // -- Admission ----------------------------------------------------------------

@@ -111,6 +111,28 @@ struct Config {
   /// results bit-identical to sim_threads=1 (docs/PDES.md).  <= 0 picks
   /// one thread per hardware core.
   int sim_threads = 1;
+  /// Batched demand-driven windows (docs/PDES.md): coalesce back-to-back
+  /// control events while no shard has work below the coupling point,
+  /// dispatch only busy shards, and advance idle shards' clocks directly
+  /// from the control thread.  false restores the one-barrier-per-control-
+  /// event loop (--no-window-batch); results are bit-identical either way.
+  bool window_batch = true;
+};
+
+/// Synchronizer counters for a sharded run (all zero in serial mode).
+/// Batch-on and batch-off runs of the same spec produce identical digests
+/// but different counters — that asymmetry is the point: windows_coalesced
+/// and shard_skips measure barriers the batched loop did not pay.
+struct SyncStats {
+  std::uint64_t windows = 0;            ///< coupling points processed
+  std::uint64_t windows_coalesced = 0;  ///< windows fired with no shard pass
+  std::uint64_t control_events = 0;     ///< control-engine events fired
+  std::uint64_t barriers = 0;           ///< ShardPool barriers paid
+  std::uint64_t shard_dispatches = 0;   ///< shard run_before/run_until calls
+  std::uint64_t shard_skips = 0;        ///< idle shards advanced in O(1)
+  std::uint64_t pool_wakeups = 0;       ///< condvar notifies to parked workers
+  std::uint64_t pool_spin_grabs = 0;    ///< batches a worker joined by spinning
+  std::uint64_t pool_parks = 0;         ///< times a worker parked after spinning
 };
 
 class Cluster {
@@ -216,6 +238,10 @@ class Cluster {
   double migrated_bytes() const { return migrated_bytes_; }
   std::uint64_t balance_actions() const { return balance_actions_; }
 
+  /// Synchronizer counters, cumulative across run_until() calls, with the
+  /// ShardPool's handoff stats folded in.  Zero for serial runs.
+  SyncStats sync_stats() const;
+
   /// Fleet digest: per-host running trace digests + record counts folded
   /// in host-id order (FNV-1a).  Bit-identical across serial/parallel runs
   /// and across host-construction order.
@@ -243,8 +269,21 @@ class Cluster {
     sim::EventHandle migration_event;
   };
 
+  /// Cached shard horizon for the batched synchronizer: the shard's
+  /// next_event_time() as of arm_count() == arm_seq.  Arming is the only
+  /// operation that lowers the true horizon and it always bumps the arm
+  /// count, so a cache hit can only be stale-low (harmless extra dispatch),
+  /// never stale-high (docs/PDES.md).  arm_seq starts poisoned so the
+  /// first window refreshes every shard.
+  struct ShardHorizon {
+    sim::Time next = sim::Time::zero();
+    std::uint64_t arm_seq = ~0ull;
+  };
+
   Vm* find_vm(int vm_id);
   const Vm* find_vm(int vm_id) const;
+  std::size_t run_until_batched(sim::Time deadline);
+  std::size_t run_until_unbatched(sim::Time deadline);
   std::int64_t chunks_on(int host_id, std::int64_t mem_bytes) const;
   void run_precopy_round(int vm_id);
   void begin_cutover(int vm_id, double dirty_bytes);
@@ -264,6 +303,8 @@ class Cluster {
   std::vector<std::unique_ptr<sim::Engine>> shard_engines_;  ///< per host
   std::unique_ptr<ShardPool> pool_;  ///< built on first sharded run_until
   int sim_threads_ = 1;
+  std::vector<ShardHorizon> horizons_;  ///< per-shard, batched mode only
+  SyncStats sync_;
   std::vector<std::unique_ptr<hv::Hypervisor>> hosts_;
   std::vector<std::string> host_names_;
   std::vector<std::unique_ptr<trace::Tracer>> tracers_;

@@ -4,8 +4,25 @@
 
 namespace vprobe::cluster {
 
+namespace {
+
+// One relaxation step inside the spin phase: tells the core the loop is a
+// spin-wait (SMT-friendly, saves power) without involving the scheduler.
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
 ShardPool::ShardPool(int threads) {
   const int extra = std::max(0, threads - 1);
+  wake_hint_ = extra;
   workers_.reserve(static_cast<std::size_t>(extra));
   for (int i = 0; i < extra; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -15,15 +32,30 @@ ShardPool::ShardPool(int threads) {
 ShardPool::~ShardPool() {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    stop_ = true;
+    stop_.store(true, std::memory_order_release);
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ShardPool::drain(std::unique_lock<std::mutex>& lk) {
+ShardPool::Stats ShardPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void ShardPool::drain(std::unique_lock<std::mutex>& lk, bool caller) {
   while (next_ < n_) {
     const int i = next_++;
+    if (!caller) {
+      ++worker_claims_;
+      // Chain wake: a worker winning an index while more remain means the
+      // adaptive hint under-woke this batch — heal one lane at a time (the
+      // chain ramps exponentially across the woken workers).
+      if (next_ < n_ && parked_ > 0) {
+        work_cv_.notify_one();
+        ++stats_.wakeups;
+      }
+    }
     lk.unlock();
     std::exception_ptr err;
     try {
@@ -48,12 +80,27 @@ void ShardPool::parallel_for(int n, const std::function<void(int)>& fn) {
   n_ = n;
   next_ = 0;
   pending_ = n;
+  worker_claims_ = 0;
   error_ = nullptr;
-  work_cv_.notify_all();
-  drain(lk);  // the caller is a worker too
+  ++stats_.batches;
+  // Publish the batch before any notify so spinning workers join from the
+  // epoch alone; then wake at most n-1 parked workers (the caller is the
+  // n-th lane), further capped by the adaptive hint.
+  epoch_.fetch_add(1, std::memory_order_release);
+  const int wake = std::min({n - 1, parked_, wake_hint_});
+  for (int i = 0; i < wake; ++i) work_cv_.notify_one();
+  stats_.wakeups += static_cast<std::uint64_t>(wake);
+  drain(lk, /*caller=*/true);
   done_cv_.wait(lk, [this] { return pending_ == 0; });
   n_ = 0;
   fn_ = nullptr;
+  // Adapt the wake cap to observed concurrency: when every claim went to
+  // the caller (the 1-core builder), waking workers was pure overhead —
+  // halve toward a single probe lane; any worker claim grows it back
+  // toward the full pool.
+  wake_hint_ = worker_claims_ == 0
+                   ? std::max(1, wake_hint_ / 2)
+                   : std::min(static_cast<int>(workers_.size()), wake_hint_ + 1);
   if (error_ != nullptr) {
     std::exception_ptr err = error_;
     error_ = nullptr;
@@ -62,11 +109,41 @@ void ShardPool::parallel_for(int n, const std::function<void(int)>& fn) {
 }
 
 void ShardPool::worker_loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t seen = 0;
+  int spin_budget = 64;
   for (;;) {
-    work_cv_.wait(lk, [this] { return stop_ || next_ < n_; });
-    if (stop_) return;
-    drain(lk);
+    // Spin-then-park: watch the epoch lock-free for a while — back-to-back
+    // windows are caught here without a condvar round trip.  The budget
+    // adapts: it grows when spinning catches a batch and halves every time
+    // the worker ends up parking anyway (floor 1 keeps a cheap probe alive
+    // so a recovering multicore run can grow it back).
+    bool spun_in = false;
+    for (int i = spin_budget; i > 0; --i) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (epoch_.load(std::memory_order_acquire) != seen) {
+        spun_in = true;
+        break;
+      }
+      cpu_pause();
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (spun_in) {
+      spin_budget = std::min(kMaxSpin, std::max(64, spin_budget * 2));
+      ++stats_.spin_grabs;
+    } else if (!stop_.load(std::memory_order_relaxed) &&
+               epoch_.load(std::memory_order_relaxed) == seen) {
+      spin_budget = std::max(1, spin_budget / 2);
+      ++stats_.parks;
+      ++parked_;
+      work_cv_.wait(lk, [this, seen] {
+        return stop_.load(std::memory_order_relaxed) ||
+               epoch_.load(std::memory_order_relaxed) != seen;
+      });
+      --parked_;
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    seen = epoch_.load(std::memory_order_relaxed);
+    drain(lk, /*caller=*/false);
   }
 }
 

@@ -8,15 +8,27 @@
 // dynamically, so an expensive shard does not serialize behind a cheap one
 // pinned to the same worker.
 //
-// The pool is deliberately tiny: the synchronizer calls parallel_for once
-// per conservative window (tens of windows per simulated second), so a
-// mutex + two condition variables cost microseconds against shard work of
-// milliseconds.  Worker exceptions are captured and rethrown on the caller
-// (first one wins); the remaining indices still run so the barrier always
-// completes.
+// Windows are microseconds apart, so the handoff cost is the product:
+//
+//  * Sub-group dispatch: a batch wakes at most n-1 parked workers (the
+//    caller is the n-th lane), never the whole pool — a 2-busy-shard window
+//    on an 8-wide pool leaves 6 workers asleep.  An adaptive wake hint
+//    decays toward 1 when workers keep losing the claim race to the caller
+//    (the 1-core builder), and chain-notifies in drain() heal under-waking:
+//    a worker that claims an index while more remain wakes one more lane.
+//  * Spin-then-park: between batches a worker spins on the batch epoch (an
+//    atomic bumped before any notify) so back-to-back windows are joined
+//    without a condvar park/unpark round trip.  The spin budget adapts —
+//    it grows when spinning catches a batch and collapses to zero when the
+//    worker ends up parking anyway, so a 1-core builder parks immediately.
+//
+// Worker exceptions are captured and rethrown on the caller (first one
+// wins); the remaining indices still run so the barrier always completes.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -27,6 +39,16 @@ namespace vprobe::cluster {
 
 class ShardPool {
  public:
+  /// Handoff counters, cumulative since construction.  Read them between
+  /// batches (stats() takes the pool mutex); the synchronizer folds them
+  /// into ClusterMetrics.
+  struct Stats {
+    std::uint64_t batches = 0;     ///< parallel_for calls that engaged workers
+    std::uint64_t wakeups = 0;     ///< condvar notifies issued to parked workers
+    std::uint64_t spin_grabs = 0;  ///< batches a worker joined from the spin phase
+    std::uint64_t parks = 0;       ///< times a worker gave up spinning and parked
+  };
+
   /// `threads` is the total concurrency including the calling thread, so
   /// the pool spawns threads-1 workers; threads <= 1 spawns none and
   /// parallel_for degenerates to a plain loop.
@@ -41,21 +63,34 @@ class ShardPool {
   /// Rethrows the first exception any index raised.  Not reentrant.
   void parallel_for(int n, const std::function<void(int)>& fn);
 
+  Stats stats() const;
+
  private:
+  static constexpr int kMaxSpin = 4096;  ///< upper bound on the spin budget
+
   void worker_loop();
   /// Claim and run indices until none are left.  `lk` holds mu_ on entry
-  /// and exit; the lock is dropped around each fn(i) call.
-  void drain(std::unique_lock<std::mutex>& lk);
+  /// and exit; the lock is dropped around each fn(i) call.  Workers
+  /// (caller=false) count their claims for the wake-hint adaptation and
+  /// chain-notify the next parked lane while indices remain.
+  void drain(std::unique_lock<std::mutex>& lk, bool caller);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers: a new batch has indices
   std::condition_variable done_cv_;  ///< caller: pending_ hit zero
+  /// Batch generation: bumped under mu_ before any notify, read lock-free
+  /// by spinning workers (release/acquire pairs with the spin load).
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> stop_{false};
   const std::function<void(int)>* fn_ = nullptr;
   int n_ = 0;        ///< batch size; 0 between batches
   int next_ = 0;     ///< next unclaimed index
   int pending_ = 0;  ///< claimed-or-unclaimed indices not yet finished
-  bool stop_ = false;
+  int parked_ = 0;   ///< workers currently blocked in work_cv_.wait
+  int wake_hint_ = 0;          ///< adaptive cap on wakeups per batch
+  int worker_claims_ = 0;      ///< indices claimed by workers this batch
+  Stats stats_;
   std::exception_ptr error_;
 };
 

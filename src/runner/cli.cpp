@@ -89,6 +89,7 @@ BenchFlags parse_bench_flags(const Cli& cli, double default_scale) {
   flags.config.checks = cli.has("checks");
   flags.config.rate_cache = !cli.has("no-rate-cache");
   flags.config.sim_threads = cli.get_int("sim-threads", 1);
+  flags.config.window_batch = !cli.has("no-window-batch");
   if (cli.has("json")) {
     const std::string path = cli.get("json", "-");
     flags.json_path = (path == "1") ? "-" : path;
@@ -133,6 +134,10 @@ bool maybe_print_help(const Cli& cli, const char* summary, const char* extra) {
       "  --no-rate-cache  disable the cost-model memoization (results are\n"
       "                   bit-identical either way; this is the escape hatch\n"
       "                   differential tests use to prove it)\n"
+      "  --no-window-batch  disable batched PDES windows in sharded cluster\n"
+      "                   runs: every control event pays a full all-shard\n"
+      "                   barrier again (bit-identical either way; the\n"
+      "                   escape hatch the pdes differential sweep uses)\n"
       "  --help           this text\n");
   if (extra != nullptr && *extra != '\0') {
     std::printf("\n%s\n", extra);

@@ -38,6 +38,10 @@ struct RunConfig {
   /// experiments ignore this — their one event stream has nothing to
   /// shard.
   int sim_threads = 1;
+  /// Batched demand-driven PDES windows (--no-window-batch clears it):
+  /// coalesce control events and dispatch only busy shards.  Bit-identical
+  /// either way (docs/PDES.md); serial runs ignore it.
+  bool window_batch = true;
 };
 
 /// SPEC CPU2006 workload (Figure 4): VM1 and VM2 run identical instance

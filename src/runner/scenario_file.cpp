@@ -356,6 +356,7 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
   cluster::Config ccfg;
   ccfg.seed = spec.seed;
   ccfg.sim_threads = spec.sim_threads;
+  ccfg.window_batch = spec.window_batch;
   ccfg.host_template.rate_cache = opts.rate_cache;
   if (spec.balance_enabled) {
     ccfg.balance_period = sim::Time::seconds(spec.balance_period_s);
@@ -599,6 +600,16 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
   metrics.cluster.migrated_bytes = fleet.migrated_bytes();
   metrics.cluster.balance_actions = fleet.balance_actions();
   metrics.cluster.fleet_digest = fleet.fleet_digest();
+  const cluster::SyncStats sync = fleet.sync_stats();
+  metrics.cluster.sync_windows = sync.windows;
+  metrics.cluster.sync_windows_coalesced = sync.windows_coalesced;
+  metrics.cluster.sync_control_events = sync.control_events;
+  metrics.cluster.sync_barriers = sync.barriers;
+  metrics.cluster.sync_shard_dispatches = sync.shard_dispatches;
+  metrics.cluster.sync_shard_skips = sync.shard_skips;
+  metrics.cluster.pool_wakeups = sync.pool_wakeups;
+  metrics.cluster.pool_spin_grabs = sync.pool_spin_grabs;
+  metrics.cluster.pool_parks = sync.pool_parks;
   return metrics;
 }
 

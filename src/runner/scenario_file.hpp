@@ -114,6 +114,10 @@ struct ScenarioSpec {
   /// describes the experiment and threading must not change its result:
   /// any N is bit-identical to 1, see docs/PDES.md).
   int sim_threads = 1;
+  /// Batched demand-driven windows for sharded runs (no file directive —
+  /// set from --no-window-batch / RunConfig by the caller, same reasoning
+  /// as sim_threads: bit-identical either way, docs/PDES.md).
+  bool window_batch = true;
 };
 
 /// Parse the scenario text.  Throws std::invalid_argument with a line

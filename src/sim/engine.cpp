@@ -179,6 +179,11 @@ Time Engine::next_event_time() {
   return top != nullptr ? top->when : Time::max();
 }
 
+void Engine::advance_to(Time deadline) {
+  assert(next_event_time() >= deadline);
+  if (now_ < deadline) now_ = deadline;
+}
+
 std::size_t Engine::run(std::size_t max_events) {
   std::size_t n = 0;
   while (n < max_events && pop_one()) ++n;

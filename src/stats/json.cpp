@@ -168,7 +168,16 @@ std::string to_json(const RunMetrics& m) {
         .member("precopy_rounds", m.cluster.precopy_rounds)
         .member("migrated_bytes", m.cluster.migrated_bytes)
         .member("balance_actions", m.cluster.balance_actions)
-        .member("fleet_digest", hex_digest(m.cluster.fleet_digest));
+        .member("fleet_digest", hex_digest(m.cluster.fleet_digest))
+        .member("sync_windows", m.cluster.sync_windows)
+        .member("sync_windows_coalesced", m.cluster.sync_windows_coalesced)
+        .member("sync_control_events", m.cluster.sync_control_events)
+        .member("sync_barriers", m.cluster.sync_barriers)
+        .member("sync_shard_dispatches", m.cluster.sync_shard_dispatches)
+        .member("sync_shard_skips", m.cluster.sync_shard_skips)
+        .member("pool_wakeups", m.cluster.pool_wakeups)
+        .member("pool_spin_grabs", m.cluster.pool_spin_grabs)
+        .member("pool_parks", m.cluster.pool_parks);
     json.end_object();
   }
   json.end_object();

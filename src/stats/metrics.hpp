@@ -34,6 +34,18 @@ struct ClusterMetrics {
   double migrated_bytes = 0.0;
   std::uint64_t balance_actions = 0;
   std::uint64_t fleet_digest = 0;
+  /// PDES synchronizer counters (cluster::SyncStats): all zero for serial
+  /// runs; batch-on vs batch-off runs differ here while every digest above
+  /// stays identical — the counters measure barriers not paid, not results.
+  std::uint64_t sync_windows = 0;
+  std::uint64_t sync_windows_coalesced = 0;
+  std::uint64_t sync_control_events = 0;
+  std::uint64_t sync_barriers = 0;
+  std::uint64_t sync_shard_dispatches = 0;
+  std::uint64_t sync_shard_skips = 0;
+  std::uint64_t pool_wakeups = 0;
+  std::uint64_t pool_spin_grabs = 0;
+  std::uint64_t pool_parks = 0;
 };
 
 struct RunMetrics {

@@ -393,11 +393,18 @@ std::map<std::string, GoldenEntry> load_goldens() {
 
 void save_goldens(const std::map<std::string, GoldenEntry>& goldens) {
   std::ofstream out(golden_path());
+  // Keep this header byte-identical to the one in tests/pdes_test.cpp —
+  // whichever test regenerates last must not churn the other's docs.
   out << "# Cluster golden digests: <key> <records> <fnv1a-64 hex>\n"
       << "# fleet_mix: examples/scenarios/fleet_mix.scn — 4 heterogeneous\n"
       << "# hosts, scripted live migration, balancer, churn; records is the\n"
       << "# fleet-wide trace count, digest the host-id-ordered fleet fold.\n"
-      << "# Regenerate: VPROBE_UPDATE_GOLDEN=1 ctest -L cluster\n";
+      << "# fleet_mix_pdes: the same scenario at --sim-threads 4; the PDES\n"
+      << "# contract requires it to EQUAL fleet_mix byte for byte.\n"
+      << "# clustered_control: examples/scenarios/clustered_control.scn —\n"
+      << "# control events denser than host events (2 ms churn vs 10 ms tick\n"
+      << "# grids, coincident migrations); pins the batched-window regime.\n"
+      << "# Regenerate: VPROBE_UPDATE_GOLDEN=1 ctest -L cluster -L pdes\n";
   for (const auto& [key, entry] : goldens) {
     out << key << ' ' << entry.records << ' ' << entry.digest << '\n';
   }

@@ -1,15 +1,18 @@
 // PDES suite: the sharded (per-host engine) cluster path must be
 // bit-identical to the serial shared-engine reference for every scheduler,
-// seed, fleet size, and thread count — fleet digest, per-host streams, and
-// every rollup metric.  Covers the differential sweep (6 schedulers x 3
-// seeds x {2,4}-host fleets with churn + a scripted migration under
-// FleetCheck), the lookahead window mechanics (run_before/next_event_time),
-// thread-count invariance, and the fleet_mix PDES golden.
+// seed, fleet size, thread count, and window mode — fleet digest, per-host
+// streams, and every rollup metric.  Covers the differential sweep (6
+// schedulers x 3 seeds x {2,4}-host fleets with churn + a scripted
+// migration under FleetCheck, batch-on vs batch-off vs serial), the
+// lookahead window mechanics (run_before/next_event_time/advance_to/
+// arm_count), the batched synchronizer's horizon cache and counters, the
+// ShardPool wake discipline, and the fleet_mix + clustered_control goldens.
 //
 //   ctest -L pdes
 //
-// The golden is re-blessed like the cluster traces (the pinned value must
-// equal the serial `fleet_mix` entry — the PDES contract IS that equality):
+// The goldens are re-blessed like the cluster traces (the fleet_mix_pdes
+// pin must equal the serial `fleet_mix` entry — the PDES contract IS that
+// equality):
 //   VPROBE_UPDATE_GOLDEN=1 ctest -L pdes
 #include <gtest/gtest.h>
 
@@ -69,6 +72,42 @@ TEST(EngineWindow, NextEventTimeSkipsCancelledEntries) {
   engine.clear();
 }
 
+TEST(EngineWindow, AdvanceToMovesTheClockWithoutFiring) {
+  sim::Engine engine;
+  bool fired = false;
+  engine.schedule_at(sim::Time::ms(10), [&] { fired = true; });
+  engine.advance_to(sim::Time::ms(4));
+  EXPECT_EQ(engine.now(), sim::Time::ms(4));
+  EXPECT_FALSE(fired) << "advance_to never fires events";
+  engine.advance_to(sim::Time::ms(2));  // never moves the clock backwards
+  EXPECT_EQ(engine.now(), sim::Time::ms(4));
+  // A relative schedule after the handoff is anchored at the new clock —
+  // this is what control callbacks on skipped shards rely on.
+  bool later = false;
+  engine.schedule(sim::Time::ms(1), [&] { later = true; });
+  engine.run_until(sim::Time::ms(5));
+  EXPECT_TRUE(later);
+  EXPECT_FALSE(fired);
+  engine.clear();
+}
+
+TEST(EngineWindow, ArmCountBumpsOnEveryArmIncludingPeriodicRearm) {
+  sim::Engine engine;
+  const std::uint64_t base = engine.arm_count();
+  engine.schedule_at(sim::Time::ms(1), [] {});
+  EXPECT_EQ(engine.arm_count(), base + 1);
+  auto h = engine.schedule_periodic(sim::Time::ms(2), [] {});
+  EXPECT_EQ(engine.arm_count(), base + 2);
+  // Each periodic firing re-arms the slot with a fresh sequence number, so
+  // the horizon cache sees the shard's heap change even when only a
+  // periodic timer advanced — cancelling or firing alone never lowers
+  // next_event_time(), arming (and re-arming) is the one thing that can.
+  engine.run_until(sim::Time::ms(4));  // fires t=1, t=2, t=4 (re-arms twice)
+  EXPECT_EQ(engine.arm_count(), base + 4);
+  h.cancel();
+  engine.clear();
+}
+
 // -- ShardPool ----------------------------------------------------------------
 
 TEST(ShardPoolTest, RunsEveryIndexExactlyOnceAndRethrows) {
@@ -86,6 +125,29 @@ TEST(ShardPoolTest, RunsEveryIndexExactlyOnceAndRethrows) {
   std::fill(hits.begin(), hits.end(), 0);
   pool.parallel_for(16, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
   for (int i = 0; i < 16; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(ShardPoolTest, SubGroupBatchesWakeAtMostBatchMinusOneWorkers) {
+  // An 8-wide pool fed 2-index batches must never notify the whole pool:
+  // the caller is one lane, so at most one worker per batch is woken (plus
+  // chain notifies, which also only fire when a worker actually claimed an
+  // index).  Before the wake cap, every batch notify_all'd 7 workers that
+  // found nothing to do.
+  cluster::ShardPool pool(8);
+  constexpr int kBatches = 200;
+  std::vector<int> hits(2, 0);
+  for (int b = 0; b < kBatches; ++b) {
+    pool.parallel_for(2, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  }
+  EXPECT_EQ(hits[0], kBatches);
+  EXPECT_EQ(hits[1], kBatches);
+  const cluster::ShardPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.batches, static_cast<std::uint64_t>(kBatches));
+  // n-1 == 1 direct wake per batch; a chain notify needs a worker claim
+  // with an index still unclaimed, impossible at n == 2 (the claim leaves
+  // none).  So the hard ceiling is one wakeup per batch.
+  EXPECT_LE(stats.wakeups, static_cast<std::uint64_t>(kBatches))
+      << "sub-group dispatch must wake at most n-1 workers per batch";
 }
 
 // -- Differential fleet runner --------------------------------------------------
@@ -115,12 +177,14 @@ struct FleetRun {
 
 /// One heterogeneous fleet under churn, a scripted cross-host migration,
 /// and the balancer — the cluster couplings the lookahead synchronizer has
-/// to serialize.  `sim_threads` is the only degree of freedom under test.
+/// to serialize.  `sim_threads` and `window_batch` are the only degrees of
+/// freedom under test.
 FleetRun run_fleet(runner::SchedKind sched, std::uint64_t seed, int num_hosts,
-                   int sim_threads) {
+                   int sim_threads, bool window_batch = true) {
   cluster::Config ccfg;
   ccfg.seed = seed;
   ccfg.sim_threads = sim_threads;
+  ccfg.window_batch = window_batch;
   ccfg.balance_period = sim::Time::ms(150);
   ccfg.balance_threshold = 0.2;
 
@@ -187,7 +251,7 @@ FleetRun run_fleet(runner::SchedKind sched, std::uint64_t seed, int num_hosts,
   return out;
 }
 
-TEST(PdesDifferential, ShardedMatchesSerialForEverySchedulerSeedAndFleet) {
+TEST(PdesDifferential, BatchedUnbatchedAndSerialAgreeForEverySchedulerSeedAndFleet) {
   for (const runner::SchedKind sched : runner::paper_schedulers()) {
     for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
       for (const int num_hosts : {2, 4}) {
@@ -195,21 +259,29 @@ TEST(PdesDifferential, ShardedMatchesSerialForEverySchedulerSeedAndFleet) {
                      std::to_string(seed) + " hosts " +
                      std::to_string(num_hosts));
         const FleetRun serial = run_fleet(sched, seed, num_hosts, 1);
-        const FleetRun sharded = run_fleet(sched, seed, num_hosts, num_hosts);
+        const FleetRun batched = run_fleet(sched, seed, num_hosts, num_hosts,
+                                           /*window_batch=*/true);
+        const FleetRun unbatched = run_fleet(sched, seed, num_hosts, num_hosts,
+                                             /*window_batch=*/false);
 
         ASSERT_GT(serial.records, 0u);
         EXPECT_GE(serial.migrations_completed, 1u)
             << "the sweep must exercise a cross-host live migration";
         EXPECT_EQ(serial.violations, 0u);
-        EXPECT_EQ(sharded.violations, 0u)
+        EXPECT_EQ(batched.violations, 0u)
             << "FleetCheck must stay clean on every shard";
-        EXPECT_TRUE(sharded == serial)
-            << "--sim-threads N diverged from the serial reference:\n"
+        EXPECT_EQ(unbatched.violations, 0u);
+        EXPECT_TRUE(batched == serial)
+            << "--sim-threads N (batched windows) diverged from the serial"
+            << " reference:\n"
             << "  serial  " << trace::digest_hex(serial.digest) << " ("
             << serial.records << " records)\n"
-            << "  sharded " << trace::digest_hex(sharded.digest) << " ("
-            << sharded.records << " records)\n"
+            << "  batched " << trace::digest_hex(batched.digest) << " ("
+            << batched.records << " records)\n"
             << "see docs/PDES.md for the divergence debugging workflow";
+        EXPECT_TRUE(unbatched == serial)
+            << "--no-window-batch diverged from the serial reference — the"
+            << " escape hatch itself broke (docs/PDES.md)";
       }
     }
   }
@@ -232,6 +304,102 @@ TEST(PdesDifferential, ShardedRunsAreReproducible) {
   EXPECT_TRUE(a == b) << "back-to-back sharded runs must be bit-identical";
 }
 
+// -- Batched synchronizer mechanics ---------------------------------------------
+
+/// A minimal sharded fleet with no VMs: the only host events are the 10 ms
+/// staggered PCPU tick grids (1.25 ms spacing on the 8-PCPU xeon, 0.3125 ms
+/// on the 32-PCPU four-node box), so a balancer cadence tighter than the
+/// densest grid makes control events denser than host events — the
+/// coalescing regime.
+std::unique_ptr<cluster::Cluster> make_idle_fleet(int sim_threads,
+                                                  sim::Time balance_period,
+                                                  bool window_batch = true) {
+  cluster::Config ccfg;
+  ccfg.seed = 1;
+  ccfg.sim_threads = sim_threads;
+  ccfg.window_batch = window_batch;
+  ccfg.balance_period = balance_period;
+  std::vector<cluster::HostSpec> hosts(2);
+  hosts[1].machine = numa::MachineConfig::four_node_server();
+  return std::make_unique<cluster::Cluster>(
+      ccfg, hosts, runner::scheduler_factory(runner::SchedKind::kCredit));
+}
+
+TEST(PdesBatched, CoalescesControlBurstsAndSkipsIdleShards) {
+  auto fleet = make_idle_fleet(2, sim::Time::us(200));
+  fleet->start();  // arms the tick grids and the 200 us balancer
+  fleet->run_until(sim::Time::ms(100));
+  const cluster::SyncStats sync = fleet->sync_stats();
+  EXPECT_GE(sync.windows, 499u) << "one window per balancer tick";
+  EXPECT_EQ(sync.windows, sync.windows_coalesced + sync.barriers - 1)
+      << "every window either coalesces or pays exactly one barrier (the"
+      << " +1 is the final inclusive pass)";
+  EXPECT_GT(sync.windows_coalesced, 0u)
+      << "balancer ticks landing between host ticks must fire with no"
+      << " shard pass at all";
+  EXPECT_LT(sync.barriers, sync.control_events)
+      << "batching must pay fewer barriers than control events";
+  EXPECT_GT(sync.shard_skips, 0u)
+      << "heterogeneous tick grids must leave one shard idle in some"
+      << " windows";
+  // The unbatched loop on the same fleet pays a barrier per window.
+  auto ref = make_idle_fleet(2, sim::Time::us(200), /*window_batch=*/false);
+  ref->start();
+  ref->run_until(sim::Time::ms(100));
+  const cluster::SyncStats unbatched = ref->sync_stats();
+  EXPECT_EQ(unbatched.windows_coalesced, 0u);
+  EXPECT_EQ(unbatched.barriers, unbatched.windows + 1);
+  EXPECT_LT(sync.barriers, unbatched.barriers);
+}
+
+TEST(PdesBatched, SerialModeReportsZeroSyncStats) {
+  auto fleet = make_idle_fleet(1, sim::Time::ms(1));
+  fleet->start();
+  fleet->run_until(sim::Time::ms(50));
+  const cluster::SyncStats sync = fleet->sync_stats();
+  EXPECT_EQ(sync.windows, 0u);
+  EXPECT_EQ(sync.barriers, 0u);
+  EXPECT_EQ(sync.pool_wakeups, 0u);
+}
+
+TEST(PdesBatched, ControlArmOntoPreviouslyIdleShardInvalidatesTheHorizonCache) {
+  // No start(): the shards are completely empty, so every window before the
+  // arm coalesces and the cached horizons read Time::max().  A control
+  // event then schedules onto host 1's shard — both an equal-time event
+  // (legal: the skipped shard's clock was advanced to the coupling point
+  // before control fired) and a later one.  The arm bumps the shard's
+  // arm_count, so the next partition must re-peek the heap and dispatch
+  // the shard; a stale cache would silently drop both events (and abort
+  // on advance_to's debug assert).
+  auto fleet = make_idle_fleet(2, sim::Time::zero());
+  int fired_equal_time = 0;
+  int fired_later = 0;
+  // Two control timestamps before the arm force coalesced windows first.
+  fleet->engine().schedule_at(sim::Time::ms(1), [] {});
+  fleet->engine().schedule_at(sim::Time::ms(2), [] {});
+  fleet->engine().schedule_at(sim::Time::ms(3), [&] {
+    sim::Engine& shard = fleet->host_engine(1);
+    EXPECT_EQ(shard.now(), sim::Time::ms(3))
+        << "skipped shards must be parked exactly at the coupling point"
+        << " when control code runs";
+    shard.schedule_at(sim::Time::ms(3), [&] { ++fired_equal_time; });
+    shard.schedule(sim::Time::ms(1), [&] { ++fired_later; });
+  });
+  fleet->engine().schedule_at(sim::Time::ms(5), [] {});  // post-arm coupling
+  fleet->run_until(sim::Time::ms(6));
+  EXPECT_EQ(fired_equal_time, 1);
+  EXPECT_EQ(fired_later, 1);
+  const cluster::SyncStats sync = fleet->sync_stats();
+  EXPECT_GE(sync.windows_coalesced, 2u)
+      << "the pre-arm control events see empty shards";
+  EXPECT_GE(sync.shard_dispatches, 1u)
+      << "the post-arm window must dispatch the newly-busy shard";
+  EXPECT_EQ(fleet->host_engine(1).executed(), 2u);
+  EXPECT_EQ(fleet->host_engine(1).now(), sim::Time::ms(6));
+  EXPECT_EQ(fleet->host_engine(0).now(), sim::Time::ms(6))
+      << "idle shards still track the deadline via advance_to";
+}
+
 // -- Scenario-level: fleet_mix under PDES ---------------------------------------
 
 std::string scenario_dir() { return std::string(VPROBE_SCENARIO_DIR); }
@@ -239,13 +407,16 @@ std::string golden_path() {
   return std::string(VPROBE_GOLDEN_DIR) + "/cluster.txt";
 }
 
-runner::ScenarioSpec load_fleet_mix() {
-  std::ifstream in(scenario_dir() + "/fleet_mix.scn");
-  EXPECT_TRUE(in.is_open()) << "missing " << scenario_dir() << "/fleet_mix.scn";
+runner::ScenarioSpec load_scenario(const std::string& name) {
+  const std::string path = scenario_dir() + "/" + name + ".scn";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing " << path;
   std::ostringstream buf;
   buf << in.rdbuf();
   return runner::parse_scenario(buf.str());
 }
+
+runner::ScenarioSpec load_fleet_mix() { return load_scenario("fleet_mix"); }
 
 struct GoldenEntry {
   std::uint64_t records = 0;
@@ -268,12 +439,17 @@ std::map<std::string, GoldenEntry> load_goldens() {
 
 void save_goldens(const std::map<std::string, GoldenEntry>& goldens) {
   std::ofstream out(golden_path());
+  // Keep this header byte-identical to the one in tests/cluster_test.cpp —
+  // whichever test regenerates last must not churn the other's docs.
   out << "# Cluster golden digests: <key> <records> <fnv1a-64 hex>\n"
       << "# fleet_mix: examples/scenarios/fleet_mix.scn — 4 heterogeneous\n"
       << "# hosts, scripted live migration, balancer, churn; records is the\n"
       << "# fleet-wide trace count, digest the host-id-ordered fleet fold.\n"
       << "# fleet_mix_pdes: the same scenario at --sim-threads 4; the PDES\n"
       << "# contract requires it to EQUAL fleet_mix byte for byte.\n"
+      << "# clustered_control: examples/scenarios/clustered_control.scn —\n"
+      << "# control events denser than host events (2 ms churn vs 10 ms tick\n"
+      << "# grids, coincident migrations); pins the batched-window regime.\n"
       << "# Regenerate: VPROBE_UPDATE_GOLDEN=1 ctest -L cluster -L pdes\n";
   for (const auto& [key, entry] : goldens) {
     out << key << ' ' << entry.records << ' ' << entry.digest << '\n';
@@ -353,6 +529,85 @@ TEST(FleetMixPdes, GoldenFleetDigestAtFourThreads) {
       << "--sim-threads 4 record count diverged from the serial golden";
   EXPECT_EQ(goldens["fleet_mix"].digest, actual.digest)
       << "--sim-threads 4 fleet digest diverged from the serial golden";
+}
+
+// -- Scenario-level: clustered_control, the coalescing regime -------------------
+//
+// fleet_mix exercises scripted migrations under a sparse control plane;
+// clustered_control inverts the density: ~2 ms churn interarrivals and a
+// 50 ms balancer against hosts that mostly just tick, plus migrations on
+// coincident timestamps.  This is the workload the batched synchronizer
+// was built for — the differential test additionally asserts the batch
+// counters prove coalescing actually happened (barriers < control events).
+
+TEST(ClusteredControl, SerialBatchedAndUnbatchedProduceOneStream) {
+  runner::ScenarioSpec spec = load_scenario("clustered_control");
+  ASSERT_TRUE(spec.cluster_mode());
+  ASSERT_EQ(spec.num_hosts(), 4);
+
+  spec.sim_threads = 1;
+  const stats::RunMetrics serial = runner::run_scenario(spec);
+  spec.sim_threads = 4;
+  const stats::RunMetrics batched = runner::run_scenario(spec);
+  spec.window_batch = false;
+  const stats::RunMetrics unbatched = runner::run_scenario(spec);
+
+  for (const stats::RunMetrics* m : {&batched, &unbatched}) {
+    EXPECT_EQ(m->cluster.fleet_digest, serial.cluster.fleet_digest);
+    EXPECT_EQ(m->cluster.admitted, serial.cluster.admitted);
+    EXPECT_EQ(m->cluster.rejected, serial.cluster.rejected);
+    EXPECT_EQ(m->cluster.migrations_started, serial.cluster.migrations_started);
+    EXPECT_EQ(m->cluster.migrations_completed,
+              serial.cluster.migrations_completed);
+    EXPECT_EQ(m->cluster.balance_actions, serial.cluster.balance_actions);
+    ASSERT_EQ(m->hosts.size(), serial.hosts.size());
+    for (std::size_t i = 0; i < serial.hosts.size(); ++i) {
+      EXPECT_EQ(m->hosts[i].trace_digest, serial.hosts[i].trace_digest)
+          << "host " << i << " stream diverged";
+      EXPECT_EQ(m->hosts[i].trace_records, serial.hosts[i].trace_records);
+    }
+  }
+  // Both scripted coincident migrations plus balancer/churn moves ran.
+  EXPECT_GE(serial.cluster.migrations_completed, 3u);
+
+  // The counters tell the three modes apart even though the streams can't:
+  // batched coalesces (pays fewer barriers than it fires control events),
+  // unbatched pays one barrier per window, serial pays none.
+  EXPECT_GT(batched.cluster.sync_windows_coalesced, 0u);
+  EXPECT_LT(batched.cluster.sync_barriers, batched.cluster.sync_control_events);
+  EXPECT_GT(batched.cluster.sync_shard_skips, 0u);
+  EXPECT_EQ(unbatched.cluster.sync_windows_coalesced, 0u);
+  // One barrier per window, plus one tail barrier per run_until() call.
+  EXPECT_GE(unbatched.cluster.sync_barriers, unbatched.cluster.sync_windows);
+  EXPECT_LT(batched.cluster.sync_barriers, unbatched.cluster.sync_barriers);
+  EXPECT_EQ(serial.cluster.sync_windows, 0u);
+  EXPECT_EQ(serial.cluster.sync_barriers, 0u);
+}
+
+TEST(ClusteredControl, GoldenFleetDigestAtFourThreads) {
+  runner::ScenarioSpec spec = load_scenario("clustered_control");
+  ASSERT_TRUE(spec.cluster_mode());
+  spec.sim_threads = 4;
+  const stats::RunMetrics m = runner::run_scenario(spec);
+
+  GoldenEntry actual;
+  for (const auto& h : m.hosts) actual.records += h.trace_records;
+  actual.digest = trace::digest_hex(m.cluster.fleet_digest);
+  ASSERT_GT(actual.records, 0u);
+
+  auto goldens = load_goldens();
+  if (update_mode()) {
+    goldens["clustered_control"] = actual;
+    save_goldens(goldens);
+    GTEST_SKIP() << "golden updated: clustered_control = " << actual.digest;
+  }
+  ASSERT_TRUE(goldens.count("clustered_control"))
+      << "no golden for 'clustered_control' in " << golden_path()
+      << " — run VPROBE_UPDATE_GOLDEN=1 ctest -L pdes";
+  EXPECT_EQ(goldens["clustered_control"].records, actual.records);
+  EXPECT_EQ(goldens["clustered_control"].digest, actual.digest)
+      << "clustered_control fleet stream changed. If intentional, regenerate "
+      << "with VPROBE_UPDATE_GOLDEN=1 ctest -L pdes";
 }
 
 }  // namespace
