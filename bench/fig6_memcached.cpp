@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     total_panel.add_row(label, bench::normalized_row(runs, runner::metric_total_accesses));
     remote_panel.add_row(label, bench::normalized_row(runs, runner::metric_remote_accesses));
     latency_panel.add_row(label, runner::collect(runs, [](const stats::RunMetrics& m) {
-                            return m.latency_p99_s * 1e3;
+                            return m.latency_p99_s() * 1e3;
                           }));
   }
 

@@ -52,7 +52,10 @@ int main(int argc, char** argv) {
           "  --sim-threads N  cluster scenarios: engine shards (PDES);\n"
           "                   bit-identical to --sim-threads 1\n"
           "  --no-window-batch  sharded cluster scenarios: disable batched\n"
-          "                   windows (bit-identical either way)"))
+          "                   windows (bit-identical either way)\n"
+          "  --rps R          override the openloop base arrival rate\n"
+          "                   (scenario must declare kind=kv apps)\n"
+          "  --slo-ms M       override the request-latency SLO threshold"))
     return 0;
 
   std::string text;
@@ -77,6 +80,16 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
     return 1;
+  }
+
+  // Serving overrides: --rps enables/overrides the open-loop client (the
+  // scenario must declare kv servers for it to target), --slo-ms the SLO.
+  if (cli.has("rps")) {
+    spec.openloop_enabled = true;
+    spec.openloop.rps = cli.get_double("rps", spec.openloop.rps);
+  }
+  if (cli.has("slo-ms")) {
+    spec.slo_ms = cli.get_double("slo-ms", spec.slo_ms);
   }
 
   // One custom job: the executor expands --repeats into per-seed runs
@@ -122,6 +135,22 @@ int main(int argc, char** argv) {
       m.avg_runtime_s, m.remote_access_ratio() * 100.0,
       static_cast<unsigned long long>(m.cross_node_migrations),
       m.overhead_fraction * 100.0);
+
+  if (!m.latency.empty()) {
+    std::printf(
+        "serving: %llu requests @ %.0f rps | p50 %.3f ms, p99 %.3f ms,"
+        " p999 %.3f ms, max %.3f ms",
+        static_cast<unsigned long long>(m.latency.count()), m.throughput_rps,
+        m.latency_p50_s() * 1e3, m.latency_p99_s() * 1e3,
+        m.latency_p999_s() * 1e3, m.latency_max_s() * 1e3);
+    if (m.slo_threshold_s > 0) {
+      std::printf(" | SLO %.1f ms: %llu violations (%.3f%%)",
+                  m.slo_threshold_s * 1e3,
+                  static_cast<unsigned long long>(m.slo_violations),
+                  m.slo_violation_fraction() * 100.0);
+    }
+    std::printf("\n");
+  }
 
   if (m.is_cluster_run()) {
     std::printf("\n");

@@ -11,7 +11,7 @@ cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
-echo "== labelled suites (golden, differential, engine, churn, costmodel, cluster, pdes) =="
+echo "== labelled suites (golden, differential, engine, churn, costmodel, cluster, pdes, serving) =="
 ctest --test-dir build -L golden --output-on-failure
 ctest --test-dir build -L differential --output-on-failure
 ctest --test-dir build -L engine --output-on-failure
@@ -19,6 +19,7 @@ ctest --test-dir build -L churn --output-on-failure
 ctest --test-dir build -L costmodel --output-on-failure
 ctest --test-dir build -L cluster --output-on-failure
 ctest --test-dir build -L pdes --output-on-failure
+ctest --test-dir build -L serving --output-on-failure
 
 echo "== engine hot-path smoke (zero steady-state allocations gate) =="
 ./build/bench/engine_bench --smoke
@@ -34,6 +35,9 @@ echo "== fleet scaling smoke (cluster determinism + live migration + FleetCheck)
 
 echo "== PDES scaling smoke (sharded/batched/unbatched digest identity + coalescing proof) =="
 ./build/bench/pdes_scaling --smoke
+
+echo "== serving smoke (calm prefix + spike collapse + open-loop PDES identity) =="
+./build/bench/serving_bench --smoke
 
 echo "== tsan preset: parallel-executor tests under ThreadSanitizer =="
 cmake --preset tsan

@@ -14,7 +14,7 @@ namespace {
 constexpr const char* kValueKeys[] = {
     "jobs",   "repeats", "seed",     "scale", "instr-scale",
     "sched",  "json",    "period",   "ops",   "requests",
-    "sim-threads",
+    "sim-threads", "rps", "slo-ms",  "hosts-csv",
 };
 
 bool takes_value(const std::string& key) {

@@ -218,10 +218,7 @@ stats::RunMetrics run_memcached_single(const RunConfig& config, int concurrency,
   m.app_runtime_s["memcached"] = client1.finished() ? client1.runtime().to_seconds() : 0.0;
   m.finalize();
   m.throughput_rps = client1.throughput_ops_per_s();
-  if (!server1.latency().empty()) {
-    m.latency_p50_s = server1.latency().median();
-    m.latency_p99_s = server1.latency().percentile(99);
-  }
+  m.latency = server1.latency_hist();
   collect_common(m, *hv, *vms.vm1);
   return m;
 }
@@ -259,10 +256,7 @@ stats::RunMetrics run_redis_single(const RunConfig& config, int connections,
   m.app_runtime_s["redis"] = redis.finished() ? redis.runtime().to_seconds() : 0.0;
   m.finalize();
   m.throughput_rps = redis.throughput_rps();
-  if (!redis.server().latency().empty()) {
-    m.latency_p50_s = redis.server().latency().median();
-    m.latency_p99_s = redis.server().latency().percentile(99);
-  }
+  m.latency = redis.server().latency_hist();
   collect_common(m, *hv, *vms.vm1);
   return m;
 }

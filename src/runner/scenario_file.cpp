@@ -9,7 +9,9 @@
 #include "cluster/cluster.hpp"
 #include "runner/fleet.hpp"
 #include "workload/hungry.hpp"
+#include "workload/kv_server.hpp"
 #include "workload/npb.hpp"
+#include "workload/open_loop.hpp"
 #include "workload/os_ticker.hpp"
 #include "workload/spec.hpp"
 #include "workload/trace_app.hpp"
@@ -24,7 +26,7 @@ std::invalid_argument err(int line, const std::string& what) {
 constexpr const char* kValidMachines = "xeon_e5620, four_node";
 constexpr const char* kValidDirectives =
     "machine, machines, scheduler, seed, scale, horizon, sampling, vm, app, "
-    "churn, balance, migrate";
+    "churn, balance, migrate, openloop, slo";
 
 bool valid_machine_name(const std::string& name) {
   return name == "xeon_e5620" || name == "four_node";
@@ -166,12 +168,16 @@ ScenarioSpec parse_scenario(std::string_view text) {
           app.from = static_cast<int>(wl::parse_scaled(v));
         } else if (k == "measure") {
           app.measure = wl::parse_scaled(v) != 0.0;
+        } else if (k == "instr") {
+          app.instr = wl::parse_scaled(v);
+        } else if (k == "batch") {
+          app.batch = static_cast<int>(wl::parse_scaled(v));
         } else {
           throw err(line_no, "unknown app field '" + k + "'");
         }
       }
       if (app.kind != "spec" && app.kind != "npb" && app.kind != "hungry" &&
-          app.kind != "ticks") {
+          app.kind != "ticks" && app.kind != "kv") {
         throw err(line_no, "unknown app kind '" + app.kind + "'");
       }
       const bool vm_known =
@@ -180,6 +186,15 @@ ScenarioSpec parse_scenario(std::string_view text) {
       if (!vm_known) throw err(line_no, "app references unknown vm '" + app.vm + "'");
       if ((app.kind == "spec" || app.kind == "npb") && !wl::has_profile(app.profile)) {
         throw err(line_no, "unknown profile '" + app.profile + "'");
+      }
+      if (app.kind == "kv") {
+        if (app.profile.empty()) app.profile = "memcached";
+        if (!wl::has_profile(app.profile)) {
+          throw err(line_no, "unknown profile '" + app.profile + "'");
+        }
+        if (app.threads < 1) throw err(line_no, "kv app needs threads >= 1");
+        if (app.instr <= 0) throw err(line_no, "kv app needs instr > 0");
+        if (app.batch < 1) throw err(line_no, "kv app needs batch >= 1");
       }
       spec.apps.push_back(std::move(app));
     } else if (head == "churn") {
@@ -221,6 +236,50 @@ ScenarioSpec parse_scenario(std::string_view text) {
           spec.churn.mean_lifetime <= sim::Time::zero()) {
         throw err(line_no, "churn interarrival/lifetime must be positive");
       }
+    } else if (head == "openloop") {
+      if (spec.openloop_enabled) throw err(line_no, "duplicate openloop directive");
+      spec.openloop_enabled = true;
+      for (const auto& [k, v] : keyvals(words, line_no)) {
+        if (k == "rps") {
+          spec.openloop.rps = wl::parse_scaled(v);
+        } else if (k == "start") {
+          spec.openloop.start_s = wl::parse_scaled(v);
+        } else if (k == "seed") {
+          spec.openloop.seed = static_cast<std::uint64_t>(wl::parse_scaled(v));
+        } else if (k == "requests") {
+          spec.openloop.max_requests =
+              static_cast<std::uint64_t>(wl::parse_scaled(v));
+        } else if (k == "spike_at") {
+          spec.openloop.spike_at_s = wl::parse_scaled(v);
+        } else if (k == "spike_until") {
+          spec.openloop.spike_until_s = wl::parse_scaled(v);
+        } else if (k == "spike_x") {
+          spec.openloop.spike_x = wl::parse_scaled(v);
+        } else if (k == "diurnal_period") {
+          spec.openloop.diurnal_period_s = wl::parse_scaled(v);
+        } else if (k == "diurnal_amp") {
+          spec.openloop.diurnal_amp = wl::parse_scaled(v);
+        } else {
+          throw err(line_no, "unknown openloop field '" + k + "'");
+        }
+      }
+      if (spec.openloop.rps < 0) throw err(line_no, "openloop rps must be >= 0");
+      if (spec.openloop.start_s < 0) throw err(line_no, "openloop start must be >= 0");
+      if (spec.openloop.spike_at_s >= 0 &&
+          spec.openloop.spike_until_s <= spec.openloop.spike_at_s) {
+        throw err(line_no, "openloop spike_until must be > spike_at");
+      }
+      if (spec.openloop.spike_x < 0) throw err(line_no, "openloop spike_x must be >= 0");
+    } else if (head == "slo") {
+      if (spec.slo_ms > 0) throw err(line_no, "duplicate slo directive");
+      for (const auto& [k, v] : keyvals(words, line_no)) {
+        if (k == "ms") {
+          spec.slo_ms = wl::parse_scaled(v);
+        } else {
+          throw err(line_no, "unknown slo field '" + k + "'");
+        }
+      }
+      if (spec.slo_ms <= 0) throw err(line_no, "slo needs ms= > 0");
     } else if (head == "balance") {
       if (spec.balance_enabled) throw err(line_no, "duplicate balance directive");
       spec.balance_enabled = true;
@@ -263,6 +322,11 @@ ScenarioSpec parse_scenario(std::string_view text) {
   }
   if (spec.vms.empty()) throw std::invalid_argument("scenario defines no VMs");
   if (spec.apps.empty()) throw std::invalid_argument("scenario defines no apps");
+  const bool any_kv = std::any_of(spec.apps.begin(), spec.apps.end(),
+                                  [](const auto& a) { return a.kind == "kv"; });
+  if (spec.openloop_enabled && !any_kv) {
+    throw std::invalid_argument("openloop requires at least one kind=kv app");
+  }
   if (spec.cluster_mode()) {
     const int hosts = spec.num_hosts();
     for (const auto& vm : spec.vms) {
@@ -338,6 +402,21 @@ class BackgroundWorkload final : public cluster::Workload {
   std::vector<std::unique_ptr<wl::GuestOsTicks>> ticks_;
 };
 
+/// Build the OpenLoopClient config shared by both run paths.
+wl::OpenLoopClient::Config open_loop_config(const ScenarioSpec& spec) {
+  wl::OpenLoopClient::Config ocfg;
+  ocfg.rps = spec.openloop.rps;
+  ocfg.start_s = spec.openloop.start_s;
+  ocfg.seed = spec.openloop.seed != 0 ? spec.openloop.seed : spec.seed;
+  ocfg.max_requests = spec.openloop.max_requests;
+  ocfg.spike_at_s = spec.openloop.spike_at_s;
+  ocfg.spike_until_s = spec.openloop.spike_until_s;
+  ocfg.spike_x = spec.openloop.spike_x;
+  ocfg.diurnal_period_s = spec.openloop.diurnal_period_s;
+  ocfg.diurnal_amp = spec.openloop.diurnal_amp;
+  return ocfg;
+}
+
 stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
   SchedulerOptions opts;
   opts.sampling_period = sim::Time::seconds(spec.sampling_s);
@@ -411,6 +490,8 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
   std::vector<std::unique_ptr<wl::NpbApp>> npb_apps;
   std::vector<std::unique_ptr<wl::HungryLoops>> hogs;
   std::vector<std::unique_ptr<wl::GuestOsTicks>> ticks;
+  std::vector<std::unique_ptr<wl::RequestServer>> kv_servers;
+  std::vector<int> kv_server_hosts;  ///< admission host of each kv server
   struct Measured {
     std::function<bool()> finished;
     std::function<double()> runtime_s;
@@ -493,6 +574,22 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
                             [na] { return na->runtime().to_seconds(); },
                             na->name(), vm_id});
       }
+    } else if (app.kind == "kv") {
+      wl::RequestServer::Config kcfg;
+      kcfg.profile = app.profile;
+      kcfg.workers = app.threads;
+      kcfg.instr_per_request = app.instr;
+      kcfg.max_batch = app.batch;
+      kcfg.name = app.vm + ":kv";
+      std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
+                                    vcpus.end());
+      kv_servers.push_back(
+          std::make_unique<wl::RequestServer>(hv, dom, kcfg, subset));
+      if (spec.slo_ms > 0) {
+        kv_servers.back()->set_slo_threshold(spec.slo_ms / 1e3);
+      }
+      kv_server_hosts.push_back(host_id);
+      // No starter: workers park blocked until the first submit wakes them.
     } else if (app.kind == "hungry") {
       std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
                                     vcpus.end());
@@ -533,6 +630,23 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
     if (copts.seed == 0) copts.seed = spec.seed;
     churn = std::make_unique<ChurnDriver>(fleet, copts);
     churn->start();
+  }
+
+  // Open-loop traffic: a control-plane driver like the ChurnDriver, so its
+  // arrival events ride the PDES synchronizer's coupling points and sharded
+  // runs stay bit-identical to serial.  Declared after `fleet` and
+  // `kv_servers` so it dies (cancelling its pending arrival) first.
+  std::unique_ptr<wl::OpenLoopClient> open_loop;
+  if (spec.openloop_enabled) {
+    if (kv_servers.empty()) {
+      throw std::invalid_argument("openloop requires at least one kind=kv app");
+    }
+    std::vector<wl::RequestServer*> targets;
+    targets.reserve(kv_servers.size());
+    for (const auto& s : kv_servers) targets.push_back(s.get());
+    open_loop = std::make_unique<wl::OpenLoopClient>(
+        fleet.engine(), open_loop_config(spec), std::move(targets));
+    open_loop->start();
   }
 
   // Cluster scenarios may be pure background fleets: with nothing measured
@@ -591,6 +705,28 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
   metrics.overhead_fraction = busy_total > 0 ? overhead_total / busy_total : 0.0;
   metrics.sim_seconds = fleet.now().to_seconds();
 
+  // Serving rollup: merge each server's histogram into its admission host's
+  // slice and into the fleet-level distribution (fixed file order, so the
+  // float min/max/sum side-stats accumulate deterministically too).
+  if (!kv_servers.empty()) {
+    metrics.slo_threshold_s = spec.slo_ms / 1e3;
+    std::uint64_t served = 0;
+    for (std::size_t i = 0; i < kv_servers.size(); ++i) {
+      const wl::RequestServer& s = *kv_servers[i];
+      metrics.latency.merge(s.latency_hist());
+      metrics.slo_violations += s.slo_violations();
+      served += s.served();
+      auto& host =
+          metrics.hosts[static_cast<std::size_t>(kv_server_hosts[i])];
+      host.latency.merge(s.latency_hist());
+      host.slo_violations += s.slo_violations();
+    }
+    if (metrics.sim_seconds > 0) {
+      metrics.throughput_rps =
+          static_cast<double>(served) / metrics.sim_seconds;
+    }
+  }
+
   metrics.cluster.admitted = fleet.admitted();
   metrics.cluster.rejected = fleet.rejected();
   metrics.cluster.migrations_started = fleet.migrations_started();
@@ -636,6 +772,7 @@ stats::RunMetrics run_scenario(const ScenarioSpec& spec) {
   std::vector<std::unique_ptr<wl::NpbApp>> npb_apps;
   std::vector<std::unique_ptr<wl::HungryLoops>> hogs;
   std::vector<std::unique_ptr<wl::GuestOsTicks>> ticks;
+  std::vector<std::unique_ptr<wl::RequestServer>> kv_servers;
   struct Measured {
     std::function<bool()> finished;
     std::function<double()> runtime_s;
@@ -688,6 +825,21 @@ stats::RunMetrics run_scenario(const ScenarioSpec& spec) {
                             [na] { return na->runtime().to_seconds(); },
                             na->name(), &dom});
       }
+    } else if (app.kind == "kv") {
+      wl::RequestServer::Config kcfg;
+      kcfg.profile = app.profile;
+      kcfg.workers = app.threads;
+      kcfg.instr_per_request = app.instr;
+      kcfg.max_batch = app.batch;
+      kcfg.name = app.vm + ":kv";
+      std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
+                                    vcpus.end());
+      kv_servers.push_back(
+          std::make_unique<wl::RequestServer>(*hv, dom, kcfg, subset));
+      if (spec.slo_ms > 0) {
+        kv_servers.back()->set_slo_threshold(spec.slo_ms / 1e3);
+      }
+      // No starter: workers park blocked until the first submit wakes them.
     } else if (app.kind == "hungry") {
       std::vector<hv::Vcpu*> subset(vcpus.begin() + static_cast<std::ptrdiff_t>(from),
                                     vcpus.end());
@@ -702,7 +854,9 @@ stats::RunMetrics run_scenario(const ScenarioSpec& spec) {
       starters.push_back([t] { t->start(); });
     }
   }
-  if (measured.empty()) {
+  if (measured.empty() && !spec.openloop_enabled) {
+    // Serving-only scenarios are horizon-bounded by design, like pure
+    // background cluster fleets; anything else must measure something.
     throw std::invalid_argument("scenario has nothing to measure");
   }
 
@@ -722,13 +876,35 @@ stats::RunMetrics run_scenario(const ScenarioSpec& spec) {
     churn->start();
   }
 
-  const bool done = run_until(
-      *hv,
-      [&] {
-        return std::all_of(measured.begin(), measured.end(),
-                           [](const Measured& m) { return m.finished(); });
-      },
-      sim::Time::seconds(spec.horizon_s));
+  // Open-loop traffic against the kv servers; declared after `hv` and
+  // `kv_servers` so it dies (cancelling its pending arrival) first.
+  std::unique_ptr<wl::OpenLoopClient> open_loop;
+  if (spec.openloop_enabled) {
+    if (kv_servers.empty()) {
+      throw std::invalid_argument("openloop requires at least one kind=kv app");
+    }
+    std::vector<wl::RequestServer*> targets;
+    targets.reserve(kv_servers.size());
+    for (const auto& s : kv_servers) targets.push_back(s.get());
+    open_loop = std::make_unique<wl::OpenLoopClient>(
+        hv->engine(), open_loop_config(spec), std::move(targets));
+    open_loop->start();
+  }
+
+  bool done;
+  if (!measured.empty()) {
+    done = run_until(
+        *hv,
+        [&] {
+          return std::all_of(measured.begin(), measured.end(),
+                             [](const Measured& m) { return m.finished(); });
+        },
+        sim::Time::seconds(spec.horizon_s));
+  } else {
+    // Serving-only run: horizon-bounded by design, not incomplete.
+    run_until(*hv, [] { return false; }, sim::Time::seconds(spec.horizon_s));
+    done = true;
+  }
 
   stats::RunMetrics metrics;
   metrics.scheduler = to_string(spec.sched);
@@ -752,6 +928,19 @@ stats::RunMetrics run_scenario(const ScenarioSpec& spec) {
   metrics.overhead_fraction =
       busy > 0 ? hv->overhead().paper_overhead().to_seconds() / busy : 0.0;
   metrics.sim_seconds = hv->now().to_seconds();
+  if (!kv_servers.empty()) {
+    metrics.slo_threshold_s = spec.slo_ms / 1e3;
+    std::uint64_t served = 0;
+    for (const auto& s : kv_servers) {
+      metrics.latency.merge(s->latency_hist());
+      metrics.slo_violations += s->slo_violations();
+      served += s->served();
+    }
+    if (metrics.sim_seconds > 0) {
+      metrics.throughput_rps =
+          static_cast<double>(served) / metrics.sim_seconds;
+    }
+  }
   return metrics;
 }
 

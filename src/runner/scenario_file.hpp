@@ -30,11 +30,26 @@
 // filter), may run with no measured app (they stop at the horizon), and
 // report per-host plus cluster-rollup metrics.
 //
+// Open-loop serving (docs/SERVING.md): `kind=kv` apps build RequestServers
+// and the `openloop`/`slo` directives drive and judge them:
+//
+//     app vm=KV1 kind=kv threads=4 instr=150k batch=32
+//     openloop rps=2000 spike_at=0.3 spike_until=0.5 spike_x=4
+//     slo ms=5
+//
+// The client injects Poisson arrivals (requests/sec, optionally spiked or
+// diurnally modulated) round-robin over every kv server, per-request
+// sojourn times land in the latency histogram (p50/p99/p999 + SLO counts
+// in the JSON/CSV output), and a serving-only scenario is horizon-bounded
+// by design.  kv VMs are never cluster-movable (their guest state lives
+// outside the control plane).
+//
 // App kinds: spec (count instances, one VCPU each, starting at `from`),
 // npb (4-threaded barrier app; `threads=` to change), hungry (one loop per
 // remaining VCPU from `from`), ticks (guest housekeeping on VCPUs from
-// `from`).  Apps with measure=1 define run completion and the reported
-// runtime; when none is marked, every spec/npb app is measured.
+// `from`), kv (request server with `threads=` workers from `from`).  Apps
+// with measure=1 define run completion and the reported runtime; when none
+// is marked, every spec/npb app is measured.
 #pragma once
 
 #include <string>
@@ -67,12 +82,14 @@ struct ScenarioSpec {
 
   struct AppSpec {
     std::string vm;
-    std::string kind;          ///< spec | npb | hungry | ticks
-    std::string profile;       ///< for spec/npb
+    std::string kind;          ///< spec | npb | hungry | ticks | kv
+    std::string profile;       ///< for spec/npb/kv (kv default: memcached)
     int count = 1;             ///< spec instances
-    int threads = 4;           ///< npb threads
+    int threads = 4;           ///< npb threads / kv workers
     int from = 0;              ///< first VCPU index used
     bool measure = false;
+    double instr = 150e3;      ///< kv: service demand per request
+    int batch = 32;            ///< kv: requests coalesced per burst
   };
 
   std::vector<VmSpec> vms;
@@ -82,6 +99,27 @@ struct ScenarioSpec {
   /// churn.seed is 0, the driver runs off the scenario seed.
   bool churn_enabled = false;
   ChurnOptions churn;
+
+  /// Open-loop traffic against the kv servers ("openloop" directive).
+  /// seed 0 derives from the scenario seed; the client draws on its own
+  /// child stream either way (see wl::OpenLoopClient).
+  struct OpenLoopSpec {
+    double rps = 0.0;
+    double start_s = 0.0;
+    std::uint64_t seed = 0;
+    std::uint64_t max_requests = 0;
+    double spike_at_s = -1.0;
+    double spike_until_s = -1.0;
+    double spike_x = 1.0;
+    double diurnal_period_s = 0.0;
+    double diurnal_amp = 0.0;
+  };
+  bool openloop_enabled = false;
+  OpenLoopSpec openloop;
+
+  /// Request-latency SLO threshold in milliseconds ("slo" directive);
+  /// 0 disables violation counting.
+  double slo_ms = 0.0;
 
   /// Cluster mode: the fleet, in host-id order ("machines" directive).
   struct MachineSpec {

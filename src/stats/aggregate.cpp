@@ -15,8 +15,13 @@ void MetricsAccumulator::add(const RunMetrics& m) {
   acc_.total_mem_accesses += m.total_mem_accesses;
   acc_.remote_mem_accesses += m.remote_mem_accesses;
   acc_.throughput_rps += m.throughput_rps;
-  acc_.latency_p50_s += m.latency_p50_s;
-  acc_.latency_p99_s += m.latency_p99_s;
+  // Latency: merge the underlying distributions, never average percentiles
+  // (the mean of two p99s is not the p99 of the pooled samples).  The merge
+  // is an element-wise integer bucket add, so it is order-insensitive —
+  // stronger than the index-order contract the float sums above need.
+  acc_.latency.merge(m.latency);
+  acc_.slo_violations += m.slo_violations;
+  if (acc_.slo_threshold_s == 0.0) acc_.slo_threshold_s = m.slo_threshold_s;
   acc_.overhead_fraction += m.overhead_fraction;
   acc_.migrations += m.migrations;
   acc_.cross_node_migrations += m.cross_node_migrations;
@@ -33,8 +38,10 @@ RunMetrics MetricsAccumulator::mean() const {
   out.total_mem_accesses /= n;
   out.remote_mem_accesses /= n;
   out.throughput_rps /= n;
-  out.latency_p50_s /= n;
-  out.latency_p99_s /= n;
+  // out.latency is the merged distribution: percentiles recomputed on it
+  // are already the pooled-sample statistics, and slo_violations stays the
+  // total count over the pooled requests (the violation *fraction* is what
+  // normalises).  Nothing to divide here.
   out.overhead_fraction /= n;
   out.migrations =
       static_cast<std::uint64_t>(static_cast<double>(out.migrations) / n);

@@ -1,0 +1,124 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace vprobe::stats {
+
+namespace {
+
+std::uint64_t to_ns(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  const double scaled = seconds * 1e9;
+  if (scaled >= static_cast<double>(LatencyHistogram::kMaxValueNs)) {
+    return LatencyHistogram::kMaxValueNs;
+  }
+  return static_cast<std::uint64_t>(std::llround(scaled));
+}
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t ns) {
+  if (ns < kSubBucketCount) return static_cast<std::size_t>(ns);
+  const int exp = 63 - std::countl_zero(ns);  // >= kSubBucketBits
+  const int shift = exp - (kSubBucketBits - 1);
+  const std::size_t octave = static_cast<std::size_t>(exp - kSubBucketBits);
+  return static_cast<std::size_t>(kSubBucketCount) +
+         octave * (kSubBucketCount / 2) +
+         static_cast<std::size_t>((ns >> shift) - kSubBucketCount / 2);
+}
+
+double LatencyHistogram::bucket_mid_s(std::size_t index) {
+  if (index < kSubBucketCount) return static_cast<double>(index) * 1e-9;
+  const std::size_t rel = index - kSubBucketCount;
+  const std::size_t octave = rel / (kSubBucketCount / 2);
+  const std::uint64_t sub = rel % (kSubBucketCount / 2) + kSubBucketCount / 2;
+  const int shift = static_cast<int>(octave) + 1;
+  const std::uint64_t lower = sub << shift;
+  const std::uint64_t width = 1ull << shift;
+  return static_cast<double>(lower + width / 2) * 1e-9;
+}
+
+void LatencyHistogram::record(double seconds, std::uint64_t weight) {
+  if (weight == 0) return;
+  if (counts_.empty()) counts_.assign(kNumBuckets, 0);
+  const double s = seconds > 0.0 ? seconds : 0.0;
+  counts_[bucket_index(to_ns(s))] += weight;
+  if (count_ == 0 || s < min_) min_ = s;
+  if (count_ == 0 || s > max_) max_ = s;
+  sum_ += s * static_cast<double>(weight);
+  count_ += weight;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  const double exact = (p / 100.0) * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(exact));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen >= rank) {
+      // Clamp the midpoint into the observed range so tails never report
+      // outside [min, max].
+      return std::clamp(bucket_mid_s(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::uint64_t LatencyHistogram::count_above(double threshold_s) const {
+  if (count_ == 0 || counts_.empty()) return 0;
+  const std::size_t cut = bucket_index(to_ns(threshold_s));
+  std::uint64_t n = 0;
+  for (std::size_t i = cut + 1; i < kNumBuckets; ++i) n += counts_[i];
+  return n;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (counts_.empty()) counts_.assign(kNumBuckets, 0);
+  if (!other.counts_.empty()) {
+    for (std::size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+bool LatencyHistogram::operator==(const LatencyHistogram& other) const {
+  if (count_ != other.count_) return false;
+  if (count_ != 0 &&
+      (min_ != other.min_ || max_ != other.max_ || sum_ != other.sum_)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (bucket_count(i) != other.bucket_count(i)) return false;
+  }
+  return true;
+}
+
+std::uint64_t LatencyHistogram::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(count_);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    mix(static_cast<std::uint64_t>(i));
+    mix(c);
+  }
+  return h;
+}
+
+}  // namespace vprobe::stats

@@ -129,8 +129,14 @@ std::string to_json(const RunMetrics& m) {
       .member("remote_mem_accesses", m.remote_mem_accesses)
       .member("remote_access_ratio", m.remote_access_ratio())
       .member("throughput_rps", m.throughput_rps)
-      .member("latency_p50_s", m.latency_p50_s)
-      .member("latency_p99_s", m.latency_p99_s)
+      .member("latency_p50_s", m.latency_p50_s())
+      .member("latency_p99_s", m.latency_p99_s())
+      .member("latency_p999_s", m.latency_p999_s())
+      .member("latency_max_s", m.latency_max_s())
+      .member("requests", m.latency.count())
+      .member("slo_threshold_s", m.slo_threshold_s)
+      .member("slo_violations", m.slo_violations)
+      .member("slo_violation_fraction", m.slo_violation_fraction())
       .member("overhead_fraction", m.overhead_fraction)
       .member("migrations", static_cast<std::uint64_t>(m.migrations))
       .member("cross_node_migrations",
@@ -154,7 +160,12 @@ std::string to_json(const RunMetrics& m) {
           .member("migrations", h.migrations)
           .member("cross_node_migrations", h.cross_node_migrations)
           .member("trace_records", h.trace_records)
-          .member("trace_digest", hex_digest(h.trace_digest));
+          .member("trace_digest", hex_digest(h.trace_digest))
+          .member("requests", h.latency.count())
+          .member("latency_p50_s", h.latency.p50_s())
+          .member("latency_p99_s", h.latency.p99_s())
+          .member("latency_p999_s", h.latency.p999_s())
+          .member("slo_violations", h.slo_violations);
       json.end_object();
     }
     json.end_array();

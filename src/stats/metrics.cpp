@@ -29,13 +29,19 @@ void write_host_csv(const std::string& path, const RunMetrics& metrics) {
   if (!metrics.is_cluster_run()) return;
   CsvWriter csv(path, {"host", "machine", "domains", "vcpus", "busy_s",
                        "migrations", "cross_node_migrations", "trace_records",
-                       "trace_digest"});
+                       "trace_digest", "requests", "latency_p50_s",
+                       "latency_p99_s", "latency_p999_s", "slo_violations"});
   for (const HostMetrics& h : metrics.hosts) {
     csv.add_row({h.name, h.machine, std::to_string(h.domains),
                  std::to_string(h.vcpus), std::to_string(h.busy_s),
                  std::to_string(h.migrations),
                  std::to_string(h.cross_node_migrations),
-                 std::to_string(h.trace_records), hex_digest(h.trace_digest)});
+                 std::to_string(h.trace_records), hex_digest(h.trace_digest),
+                 std::to_string(h.latency.count()),
+                 std::to_string(h.latency.p50_s()),
+                 std::to_string(h.latency.p99_s()),
+                 std::to_string(h.latency.p999_s()),
+                 std::to_string(h.slo_violations)});
   }
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "stats/histogram.hpp"
 
 namespace vprobe::stats {
 
@@ -21,6 +22,9 @@ struct HostMetrics {
   std::uint64_t cross_node_migrations = 0;
   std::uint64_t trace_records = 0;
   std::uint64_t trace_digest = 0;  ///< running FNV-1a trace digest
+  /// Serving stats (open-loop runs only; empty/zero otherwise).
+  LatencyHistogram latency;
+  std::uint64_t slo_violations = 0;
 };
 
 /// Control-plane counters for a cluster run.
@@ -65,10 +69,28 @@ struct RunMetrics {
   /// Server throughput, requests/s (Figure 7a; 0 for batch workloads).
   double throughput_rps = 0.0;
 
-  /// Request-latency percentiles in seconds (server workloads; 0 for batch).
-  /// Not a paper metric — reported because any load tester would.
-  double latency_p50_s = 0.0;
-  double latency_p99_s = 0.0;
+  /// Per-request sojourn-time distribution (server workloads; empty for
+  /// batch).  Replaces the old scalar latency_p50_s/latency_p99_s fields:
+  /// percentiles are now derived from the histogram, so aggregating runs
+  /// merges distributions instead of (incorrectly) averaging percentiles.
+  LatencyHistogram latency;
+
+  /// SLO accounting: requests whose sojourn time exceeded slo_threshold_s,
+  /// counted exactly per request at record time (not from buckets).
+  /// threshold <= 0 disables counting.
+  double slo_threshold_s = 0.0;
+  std::uint64_t slo_violations = 0;
+
+  double latency_p50_s() const { return latency.p50_s(); }
+  double latency_p99_s() const { return latency.p99_s(); }
+  double latency_p999_s() const { return latency.p999_s(); }
+  double latency_max_s() const { return latency.max_s(); }
+  double slo_violation_fraction() const {
+    return latency.count()
+               ? static_cast<double>(slo_violations) /
+                     static_cast<double>(latency.count())
+               : 0.0;
+  }
 
   /// Hypervisor "overhead time" fraction (Table III).
   double overhead_fraction = 0.0;

@@ -85,8 +85,16 @@ hv::Outcome RequestServer::worker_batch_done(int worker, sim::Time now) {
   auto& arrivals = arrival_queues_[w];
   while (to_account > 0 && !arrivals.empty()) {
     auto& [when, count] = arrivals.front();
-    latency_.add((now - when).to_seconds());
+    const double sojourn = (now - when).to_seconds();
+    latency_.add(sojourn);
     const int used = std::min(count, to_account);
+    // The histogram weights by request count so partially-drained batches
+    // are accounted per request; pure bookkeeping, no events or RNG, so
+    // recording here cannot move any trace digest.
+    latency_hist_.record(sojourn, static_cast<std::uint64_t>(used));
+    if (slo_threshold_s_ > 0.0 && sojourn > slo_threshold_s_) {
+      slo_violations_ += static_cast<std::uint64_t>(used);
+    }
     to_account -= used;
     count -= used;
     if (count == 0) arrivals.pop_front();

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/histogram.hpp"
 #include "stats/summary.hpp"
 #include "workload/app.hpp"
 
@@ -65,6 +66,17 @@ class RequestServer {
   /// latency distribution a load tester would report alongside throughput.
   const stats::Summary& latency() const { return latency_; }
 
+  /// Same sojourn times recorded into the fixed-memory log-bucketed
+  /// histogram, weighted by request count (one unit per request, so
+  /// partial batch completions are accounted per request, not per sample).
+  const stats::LatencyHistogram& latency_hist() const { return latency_hist_; }
+
+  /// SLO accounting: requests slower than the threshold are counted exactly
+  /// at record time.  threshold <= 0 disables counting (the default).
+  void set_slo_threshold(double seconds) { slo_threshold_s_ = seconds; }
+  double slo_threshold() const { return slo_threshold_s_; }
+  std::uint64_t slo_violations() const { return slo_violations_; }
+
  private:
   class Worker : public ComputeThread {
    public:
@@ -99,6 +111,9 @@ class RequestServer {
   /// Per-worker FIFO of (submit time, request count) for latency tracking.
   std::vector<std::deque<std::pair<sim::Time, int>>> arrival_queues_;
   stats::Summary latency_;
+  stats::LatencyHistogram latency_hist_;
+  double slo_threshold_s_ = 0.0;
+  std::uint64_t slo_violations_ = 0;
   std::uint64_t served_ = 0;
   int round_robin_ = 0;
 };

@@ -1,0 +1,83 @@
+#include "workload/open_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vprobe::wl {
+
+OpenLoopClient::OpenLoopClient(sim::Engine& engine, Config config,
+                               std::vector<RequestServer*> servers, int stream)
+    : engine_(&engine),
+      cfg_(std::move(config)),
+      servers_(std::move(servers)),
+      rng_(sim::Rng::child_seed(cfg_.seed, kStreamIndex + stream)) {
+  if (servers_.empty()) {
+    throw std::invalid_argument("OpenLoopClient: no servers");
+  }
+  cfg_.diurnal_amp = std::clamp(cfg_.diurnal_amp, 0.0, 0.95);
+  if (cfg_.spike_x < 0.0) cfg_.spike_x = 0.0;
+}
+
+OpenLoopClient::~OpenLoopClient() { next_.cancel(); }
+
+double OpenLoopClient::rate_at(double t) const {
+  double rate = cfg_.rps;
+  if (rate <= 0.0) return 0.0;
+  if (cfg_.spike_at_s >= 0.0 && t >= cfg_.spike_at_s &&
+      t < cfg_.spike_until_s) {
+    rate *= cfg_.spike_x;
+  }
+  if (cfg_.diurnal_period_s > 0.0 && cfg_.diurnal_amp > 0.0) {
+    rate *= 1.0 + cfg_.diurnal_amp *
+                      std::sin(2.0 * std::numbers::pi * t /
+                               cfg_.diurnal_period_s);
+  }
+  return rate > 0.0 ? rate : 0.0;
+}
+
+void OpenLoopClient::start() {
+  if (running_) return;
+  running_ = true;
+  const sim::Time from =
+      std::max(engine_->now(), sim::Time::seconds(cfg_.start_s));
+  schedule_next(from);
+}
+
+void OpenLoopClient::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+void OpenLoopClient::set_rate(double rps) {
+  cfg_.rps = rps;
+  if (running_ && !next_.pending() && rps > 0.0 &&
+      (cfg_.max_requests == 0 || issued_ < cfg_.max_requests)) {
+    schedule_next(engine_->now());
+  }
+}
+
+void OpenLoopClient::schedule_next(sim::Time from) {
+  const double rate = rate_at(from.to_seconds());
+  // Zero rate parks the chain without consuming a draw; set_rate() revives
+  // it.  An inert (rps = 0) client therefore never touches its RNG, its
+  // engine queue, or any server — the basis of the stream-independence
+  // golden test.
+  if (rate <= 0.0) return;
+  const double gap = rng_.exponential(rate);
+  next_ = engine_->schedule_at(from + sim::Time::seconds(gap),
+                               [this] { arrive(); });
+}
+
+void OpenLoopClient::arrive() {
+  if (!running_) return;
+  RequestServer* server = servers_[round_robin_];
+  round_robin_ = (round_robin_ + 1) % servers_.size();
+  server->submit(1);
+  ++issued_;
+  if (cfg_.max_requests != 0 && issued_ >= cfg_.max_requests) return;
+  schedule_next(engine_->now());
+}
+
+}  // namespace vprobe::wl

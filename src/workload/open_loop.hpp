@@ -1,0 +1,97 @@
+// Open-loop load generator for the request-server workloads.
+//
+// A closed-loop client (MemslapClient) re-issues a request only after the
+// previous one completes, so offered load collapses to match capacity and
+// queueing delay is invisible.  This client is open-loop: arrivals come from
+// an external Poisson process whose rate does not care how the server is
+// doing, so when the fleet saturates, requests queue and sojourn times blow
+// up — exactly the tail-latency regime where scheduler placement matters.
+//
+// The arrival rate can be modulated deterministically in time:
+//   rate(t) = rps * spike(t) * (1 + diurnal_amp * sin(2*pi*t / period))
+// where spike(t) = spike_x inside [spike_at, spike_until) and 1 elsewhere.
+// After each arrival at time t, the gap to the next arrival is drawn as
+// Exp(rate(t)) — a piecewise-Poisson process.
+//
+// Determinism: the client draws from its own sim::Rng child stream
+// (child_seed(seed, kStreamIndex)), disjoint from the per-host and churn
+// streams, so constructing a client — or running one with rps = 0 — cannot
+// perturb any other component's draws or any existing golden digest.
+//
+// PDES: in cluster mode, construct with the *control* engine
+// (Cluster::engine()), exactly like the ChurnDriver: each arrival is a
+// control event, and submit() touches host state only at a synchronizer
+// coupling point, so sharded runs stay bit-identical to serial.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "workload/kv_server.hpp"
+
+namespace vprobe::wl {
+
+class OpenLoopClient {
+ public:
+  struct Config {
+    double rps = 0.0;        ///< base arrival rate; <= 0 leaves the client inert
+    double start_s = 0.0;    ///< arrivals begin at this simulated time
+    std::uint64_t seed = 1;  ///< run seed; mixed through child_seed internally
+    std::uint64_t max_requests = 0;  ///< 0 = unbounded (horizon-limited)
+    double spike_at_s = -1.0;        ///< spike window start (< 0: no spike)
+    double spike_until_s = -1.0;     ///< spike window end (exclusive)
+    double spike_x = 1.0;            ///< rate multiplier inside the window
+    double diurnal_period_s = 0.0;   ///< 0 = no diurnal modulation
+    double diurnal_amp = 0.0;        ///< clamped to [0, 0.95] so rate stays > 0
+    std::string name = "openloop";
+  };
+
+  /// child_seed stream index for the first client; clients constructed for
+  /// the same run must use distinct `stream` values (0, 1, ...).  Chosen
+  /// far above any realistic host count so per-host streams never collide.
+  static constexpr int kStreamIndex = 64;
+
+  OpenLoopClient(sim::Engine& engine, Config config,
+                 std::vector<RequestServer*> servers, int stream = 0);
+  ~OpenLoopClient();
+
+  OpenLoopClient(const OpenLoopClient&) = delete;
+  OpenLoopClient& operator=(const OpenLoopClient&) = delete;
+
+  /// Arm the arrival process (idempotent).  With rps <= 0 this is a no-op
+  /// beyond marking the client running; set_rate() can start arrivals later.
+  void start();
+
+  /// Cancel the pending arrival and stop issuing (idempotent).
+  void stop();
+
+  /// Change the base arrival rate mid-run (fuzzers and rate traces poke
+  /// this).  Revives a parked client when raising the rate above zero.
+  void set_rate(double rps);
+
+  /// Effective arrival rate at simulated time t (seconds).
+  double rate_at(double t) const;
+
+  std::uint64_t issued() const { return issued_; }
+  bool running() const { return running_; }
+  const std::string& name() const { return cfg_.name; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  void schedule_next(sim::Time from);
+  void arrive();
+
+  sim::Engine* engine_;
+  Config cfg_;
+  std::vector<RequestServer*> servers_;
+  sim::Rng rng_;
+  sim::EventHandle next_;
+  std::uint64_t issued_ = 0;
+  std::size_t round_robin_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace vprobe::wl

@@ -7,6 +7,11 @@
 //
 //     ./build/tests/churn_fuzz_test --seed=7 --steps=200
 //
+// Two fleet-mode fuzzers ride the same flags: lifecycle churn through the
+// cluster control plane (serial == sharded == repeat digests), and an
+// open-loop serving mode that additionally churns arrival rates and SLO
+// thresholds around live KV traffic.
+//
 // Flags (parsed before gtest's):
 //   --smoke      shorter op sequences (CI gate)
 //   --seed=N     fuzz only seed N (default: seeds 1, 2, 3)
@@ -33,6 +38,8 @@
 #include "scenario_helpers.hpp"
 #include "sim/rng.hpp"
 #include "trace/digest.hpp"
+#include "workload/kv_server.hpp"
+#include "workload/open_loop.hpp"
 
 namespace vprobe::test {
 namespace {
@@ -300,6 +307,168 @@ TEST(FleetChurnFuzz, ShardedMatchesSerialAndRepeats) {
     EXPECT_EQ(serial, serial2) << "serial fleet fuzz is not reproducible";
     EXPECT_EQ(sharded, serial)
         << "PDES fleet digest diverged from serial: "
+        << trace::digest_hex(sharded) << " vs " << trace::digest_hex(serial)
+        << " — see docs/PDES.md for the divergence debugging workflow";
+    if (HasFatalFailure()) return;
+  }
+}
+
+// -- open-loop serving fuzz: rate/SLO churn around live traffic ----------------
+
+/// Random serving-plane ops — open-loop rate changes (including parking at
+/// zero and reviving), SLO-threshold pokes, and batch-VM lifecycle churn —
+/// against a 3-host fleet of KV-server VMs absorbing live Poisson traffic.
+/// Every advance goes through Cluster::run_until, so sharded runs couple
+/// the arrival events at the synchronizer like the scenario path does.
+/// Returns a digest folding the fleet trace with every server's latency
+/// histogram, SLO count, and served total — the caller asserts exact
+/// repeatability and serial/sharded identity over ALL of it.
+std::uint64_t run_serving_churn_fuzz(std::uint64_t seed, int steps,
+                                     int sim_threads) {
+  SCOPED_TRACE("serving seed=" + std::to_string(seed) +
+               " sim_threads=" + std::to_string(sim_threads) +
+               " (reproduce: churn_fuzz_test --seed=" + std::to_string(seed) +
+               " --steps=" + std::to_string(steps) + ")");
+  constexpr std::int64_t kMiB = 1024ll * 1024;
+  constexpr int kHosts = 3;
+
+  cluster::Config ccfg;
+  ccfg.seed = seed;
+  ccfg.sim_threads = sim_threads;
+  std::vector<cluster::HostSpec> hosts(kHosts);
+  hosts[1].machine = numa::MachineConfig::four_node_server();
+  cluster::Cluster fleet(ccfg, hosts,
+                         runner::scheduler_factory(runner::SchedKind::kCredit));
+  cluster::FleetCheck check(fleet);
+
+  // One pinned KV-server VM per host (no cluster workload binding, so the
+  // control plane treats them as unmovable, like the scenario path does).
+  std::vector<std::unique_ptr<wl::RequestServer>> servers;
+  for (int h = 0; h < kHosts; ++h) {
+    cluster::VmSpec vm;
+    vm.name = "kv" + std::to_string(h);
+    // The memcached worker profile allocates a 512 MB region per worker,
+    // so the domain must cover workers x 512 MB plus headroom.
+    vm.mem_bytes = 2048 * kMiB;
+    vm.vcpus = 2;
+    vm.host = h;
+    const int id = fleet.admit(std::move(vm));
+    EXPECT_GE(id, 0);
+    wl::RequestServer::Config kcfg;
+    kcfg.workers = 2;
+    kcfg.instr_per_request = 120e3;
+    kcfg.max_batch = 16;
+    kcfg.name = "kv" + std::to_string(h) + ":kv";
+    const auto vcpus = domain_vcpus(*fleet.domain_of(id));
+    servers.push_back(std::make_unique<wl::RequestServer>(
+        fleet.host(fleet.host_of(id)), *fleet.domain_of(id), kcfg, vcpus));
+    servers.back()->set_slo_threshold(0.002);
+  }
+  std::vector<wl::RequestServer*> targets;
+  for (const auto& s : servers) targets.push_back(s.get());
+
+  // Arrivals ride the control engine, like the ChurnDriver's events.
+  wl::OpenLoopClient::Config ocfg;
+  ocfg.rps = 15000.0;
+  ocfg.seed = seed;
+  wl::OpenLoopClient client(fleet.engine(), ocfg, std::move(targets));
+
+  struct FleetVm {
+    int id = 0;
+    bool paused = false;
+  };
+  std::vector<FleetVm> vms;
+  int next_vm = 0;
+
+  // The fuzzer's own decision stream — never the cluster's or client's rng.
+  sim::Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x452821e638d01377ull);
+
+  const auto admit_vm = [&] {
+    cluster::VmSpec vm;
+    vm.name = "fz" + std::to_string(next_vm++);
+    vm.mem_bytes = rng.uniform_int(64, 192) * kMiB;
+    vm.vcpus = static_cast<int>(rng.uniform_int(1, 2));
+    const bool ticker = rng.chance(0.4);
+    vm.workload = ticker ? runner::ticker_workload() : runner::hungry_workload();
+    vm.dirty_bytes_per_s = ticker ? runner::ticker_dirty_rate(vm.mem_bytes)
+                                  : runner::hungry_dirty_rate(vm.mem_bytes);
+    const int id = fleet.admit(std::move(vm));
+    if (id >= 0) vms.push_back({id, false});
+  };
+
+  fleet.start();
+  client.start();
+
+  for (int step = 0; step < steps; ++step) {
+    // Ops run between synchronizer windows with worker threads quiescent.
+    fleet.run_until(fleet.now() + sim::Time::us(rng.uniform_int(500, 4000)));
+    const double op = rng.uniform();
+    if (op < 0.18) {
+      if (vms.size() < 6) admit_vm();
+    } else if (op < 0.32) {
+      if (!vms.empty()) {
+        const std::size_t pick = rng.pick_index(vms.size());
+        fleet.destroy(vms[pick].id);
+        vms.erase(vms.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    } else if (op < 0.44) {
+      if (!vms.empty()) {
+        FleetVm& vm = vms[rng.pick_index(vms.size())];
+        if (!vm.paused && fleet.pause(vm.id)) vm.paused = true;
+      }
+    } else if (op < 0.56) {
+      if (!vms.empty()) {
+        FleetVm& vm = vms[rng.pick_index(vms.size())];
+        if (vm.paused && fleet.resume(vm.id)) vm.paused = false;
+      }
+    } else if (op < 0.72) {
+      // Rate churn: park the arrival chain outright one time in four,
+      // otherwise jump anywhere from a trickle to past fleet capacity.
+      client.set_rate(rng.chance(0.25) ? 0.0 : rng.uniform(2000.0, 40000.0));
+    } else if (op < 0.84) {
+      // SLO-threshold pokes change which sojourns count as violations —
+      // bookkeeping only, so determinism must be unaffected.
+      servers[rng.pick_index(servers.size())]->set_slo_threshold(
+          rng.uniform(0.0005, 0.005));
+    } else {
+      if (!vms.empty()) {
+        const FleetVm& vm = vms[rng.pick_index(vms.size())];
+        fleet.migrate(vm.id, static_cast<int>(rng.uniform_int(0, kHosts - 1)));
+      }
+    }
+  }
+
+  // Teardown: stop the traffic, destroy the churn VMs, drain, sweep.
+  client.stop();
+  for (const FleetVm& vm : vms) fleet.destroy(vm.id);
+  vms.clear();
+  fleet.run_until(fleet.now() + sim::Time::ms(50));
+  EXPECT_EQ(check.total_violations(), 0u)
+      << "fleet invariants violated under serving churn";
+  EXPECT_GT(client.issued(), 0u) << "the fuzz run must carry real traffic";
+
+  std::uint64_t fold = fleet.fleet_digest();
+  const auto mix = [&fold](std::uint64_t v) {
+    fold = (fold ^ v) * 0x100000001b3ull;
+  };
+  for (const auto& s : servers) {
+    mix(s->latency_hist().digest());
+    mix(s->slo_violations());
+    mix(s->served());
+  }
+  mix(client.issued());
+  return fold;
+}
+
+TEST(ServingChurnFuzz, ShardedMatchesSerialAndRepeats) {
+  const int steps = g_smoke ? (fuzz_steps() / 2) : fuzz_steps();
+  for (std::uint64_t seed : fuzz_seeds()) {
+    const std::uint64_t serial = run_serving_churn_fuzz(seed, steps, 1);
+    const std::uint64_t serial2 = run_serving_churn_fuzz(seed, steps, 1);
+    const std::uint64_t sharded = run_serving_churn_fuzz(seed, steps, 3);
+    EXPECT_EQ(serial, serial2) << "serial serving fuzz is not reproducible";
+    EXPECT_EQ(sharded, serial)
+        << "PDES serving digest diverged from serial: "
         << trace::digest_hex(sharded) << " vs " << trace::digest_hex(serial)
         << " — see docs/PDES.md for the divergence debugging workflow";
     if (HasFatalFailure()) return;

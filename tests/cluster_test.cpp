@@ -393,8 +393,9 @@ std::map<std::string, GoldenEntry> load_goldens() {
 
 void save_goldens(const std::map<std::string, GoldenEntry>& goldens) {
   std::ofstream out(golden_path());
-  // Keep this header byte-identical to the one in tests/pdes_test.cpp —
-  // whichever test regenerates last must not churn the other's docs.
+  // Keep this header byte-identical to the ones in tests/pdes_test.cpp and
+  // tests/serving_test.cpp — whichever test regenerates last must not churn
+  // the others' docs.
   out << "# Cluster golden digests: <key> <records> <fnv1a-64 hex>\n"
       << "# fleet_mix: examples/scenarios/fleet_mix.scn — 4 heterogeneous\n"
       << "# hosts, scripted live migration, balancer, churn; records is the\n"
@@ -404,7 +405,11 @@ void save_goldens(const std::map<std::string, GoldenEntry>& goldens) {
       << "# clustered_control: examples/scenarios/clustered_control.scn —\n"
       << "# control events denser than host events (2 ms churn vs 10 ms tick\n"
       << "# grids, coincident migrations); pins the batched-window regime.\n"
-      << "# Regenerate: VPROBE_UPDATE_GOLDEN=1 ctest -L cluster -L pdes\n";
+      << "# spike_fleet: examples/scenarios/spike_fleet.scn — open-loop\n"
+      << "# Poisson serving fleet (kv servers, 4x arrival spike, SLO\n"
+      << "# accounting, churn); pins the serving stack's event stream.\n"
+      << "# Regenerate: VPROBE_UPDATE_GOLDEN=1 ctest -L cluster -L pdes"
+         " -L serving\n";
   for (const auto& [key, entry] : goldens) {
     out << key << ' ' << entry.records << ' ' << entry.digest << '\n';
   }

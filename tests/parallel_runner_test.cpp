@@ -38,8 +38,10 @@ void expect_identical(const stats::RunMetrics& a, const stats::RunMetrics& b) {
   EXPECT_EQ(a.total_mem_accesses, b.total_mem_accesses);
   EXPECT_EQ(a.remote_mem_accesses, b.remote_mem_accesses);
   EXPECT_EQ(a.throughput_rps, b.throughput_rps);
-  EXPECT_EQ(a.latency_p50_s, b.latency_p50_s);
-  EXPECT_EQ(a.latency_p99_s, b.latency_p99_s);
+  EXPECT_TRUE(a.latency == b.latency);  // full histogram, not just percentiles
+  EXPECT_EQ(a.latency_p50_s(), b.latency_p50_s());
+  EXPECT_EQ(a.latency_p99_s(), b.latency_p99_s());
+  EXPECT_EQ(a.slo_violations, b.slo_violations);
   EXPECT_EQ(a.overhead_fraction, b.overhead_fraction);
   EXPECT_EQ(a.migrations, b.migrations);
   EXPECT_EQ(a.cross_node_migrations, b.cross_node_migrations);

@@ -439,8 +439,9 @@ std::map<std::string, GoldenEntry> load_goldens() {
 
 void save_goldens(const std::map<std::string, GoldenEntry>& goldens) {
   std::ofstream out(golden_path());
-  // Keep this header byte-identical to the one in tests/cluster_test.cpp —
-  // whichever test regenerates last must not churn the other's docs.
+  // Keep this header byte-identical to the ones in tests/cluster_test.cpp
+  // and tests/serving_test.cpp — whichever test regenerates last must not
+  // churn the others' docs.
   out << "# Cluster golden digests: <key> <records> <fnv1a-64 hex>\n"
       << "# fleet_mix: examples/scenarios/fleet_mix.scn — 4 heterogeneous\n"
       << "# hosts, scripted live migration, balancer, churn; records is the\n"
@@ -450,7 +451,11 @@ void save_goldens(const std::map<std::string, GoldenEntry>& goldens) {
       << "# clustered_control: examples/scenarios/clustered_control.scn —\n"
       << "# control events denser than host events (2 ms churn vs 10 ms tick\n"
       << "# grids, coincident migrations); pins the batched-window regime.\n"
-      << "# Regenerate: VPROBE_UPDATE_GOLDEN=1 ctest -L cluster -L pdes\n";
+      << "# spike_fleet: examples/scenarios/spike_fleet.scn — open-loop\n"
+      << "# Poisson serving fleet (kv servers, 4x arrival spike, SLO\n"
+      << "# accounting, churn); pins the serving stack's event stream.\n"
+      << "# Regenerate: VPROBE_UPDATE_GOLDEN=1 ctest -L cluster -L pdes"
+         " -L serving\n";
   for (const auto& [key, entry] : goldens) {
     out << key << ' ' << entry.records << ' ' << entry.digest << '\n';
   }
@@ -608,6 +613,53 @@ TEST(ClusteredControl, GoldenFleetDigestAtFourThreads) {
   EXPECT_EQ(goldens["clustered_control"].digest, actual.digest)
       << "clustered_control fleet stream changed. If intentional, regenerate "
       << "with VPROBE_UPDATE_GOLDEN=1 ctest -L pdes";
+}
+
+// -- Scenario-level: spike_fleet, the open-loop serving regime ------------------
+//
+// fleet_mix and clustered_control exercise batch workloads; spike_fleet
+// adds the serving stack: open-loop Poisson arrivals on the control engine
+// (a control-event source denser than the churn driver's), KV servers whose
+// block/wake churn rides every host shard, and per-request latency/SLO
+// accounting that must be invariant under sharding.
+
+TEST(SpikeFleetPdes, ServingFleetShardsIdentically) {
+  runner::ScenarioSpec spec = load_scenario("spike_fleet");
+  ASSERT_TRUE(spec.cluster_mode());
+  ASSERT_TRUE(spec.openloop_enabled);
+
+  spec.sim_threads = 1;
+  const stats::RunMetrics serial = runner::run_scenario(spec);
+  ASSERT_GT(serial.latency.count(), 0u);
+  ASSERT_GT(serial.slo_violations, 0u)
+      << "the spike must push the fleet past its SLO";
+
+  for (const int threads : {2, 4}) {
+    for (const bool batch : {true, false}) {
+      SCOPED_TRACE("sim_threads " + std::to_string(threads) +
+                   (batch ? " batched" : " unbatched"));
+      spec.sim_threads = threads;
+      spec.window_batch = batch;
+      const stats::RunMetrics sharded = runner::run_scenario(spec);
+      EXPECT_EQ(sharded.cluster.fleet_digest, serial.cluster.fleet_digest)
+          << "see docs/PDES.md for the divergence debugging workflow";
+      ASSERT_EQ(sharded.hosts.size(), serial.hosts.size());
+      for (std::size_t i = 0; i < serial.hosts.size(); ++i) {
+        EXPECT_EQ(sharded.hosts[i].trace_digest, serial.hosts[i].trace_digest)
+            << "host " << i << " stream diverged";
+        EXPECT_EQ(sharded.hosts[i].trace_records, serial.hosts[i].trace_records);
+        EXPECT_TRUE(sharded.hosts[i].latency == serial.hosts[i].latency)
+            << "host " << i << " latency histogram diverged";
+        EXPECT_EQ(sharded.hosts[i].slo_violations,
+                  serial.hosts[i].slo_violations);
+      }
+      EXPECT_TRUE(sharded.latency == serial.latency)
+          << "the fleet latency histogram must be bit-identical under"
+          << " sharding";
+      EXPECT_EQ(sharded.slo_violations, serial.slo_violations);
+      EXPECT_DOUBLE_EQ(sharded.throughput_rps, serial.throughput_rps);
+    }
+  }
 }
 
 }  // namespace

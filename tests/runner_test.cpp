@@ -47,6 +47,20 @@ TEST(CliTest, NumericParsing) {
   EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 1e-3);
 }
 
+// Every documented value key must accept "--key value" as well as
+// "--key=value" — a key missing from kValueKeys silently swallows the
+// value as "1" and strands the real value as a positional (the --rps bug).
+TEST(CliTest, ValueKeysTakeTheNextToken) {
+  const Cli cli = make_cli({"prog", "--rps", "5000", "--slo-ms", "2.5",
+                            "--hosts-csv", "hosts.csv", "--sim-threads", "4"});
+  EXPECT_DOUBLE_EQ(cli.get_double("rps", 0.0), 5000.0);
+  EXPECT_DOUBLE_EQ(cli.get_double("slo-ms", 0.0), 2.5);
+  EXPECT_EQ(cli.get("hosts-csv", ""), "hosts.csv");
+  EXPECT_EQ(cli.get_int("sim-threads", 0), 4);
+  EXPECT_TRUE(cli.positional().empty())
+      << "a value token leaked into the positionals";
+}
+
 // -------------------------------------------------------------- Factory ----
 
 TEST(Factory, SchedulerNames) {

@@ -1,0 +1,547 @@
+// Serving suite: the open-loop arrival process, the log-bucketed latency
+// histogram, SLO accounting, and the spike_fleet flagship scenario.
+//
+//   ctest -L serving
+//
+// The layers under test, bottom up:
+//   * OpenLoopClient draws its piecewise-Poisson gaps from the documented
+//     child_seed stream — proven by replaying the stream outside the client
+//     and matching the issued count EXACTLY, and by the moment tests on the
+//     exponential law itself.
+//   * LatencyHistogram reports every percentile within its documented
+//     1/128 relative-error bound of the exact order statistic, and merges
+//     commutatively (bit-identical either way round).
+//   * MetricsAccumulator merges distributions instead of averaging
+//     percentiles (the bimodal regression the old scalar rollup failed).
+//   * spike_fleet produces the same digests, histograms, and violation
+//     counts under --jobs N and --sim-threads {2,4}, and its fleet digest
+//     is pinned in tests/golden/cluster.txt:
+//       VPROBE_UPDATE_GOLDEN=1 ctest -L serving
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <numbers>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/run_plan.hpp"
+#include "runner/scenario.hpp"
+#include "runner/scenario_file.hpp"
+#include "scenario_helpers.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "stats/aggregate.hpp"
+#include "stats/histogram.hpp"
+#include "stats/metrics.hpp"
+#include "trace/digest.hpp"
+#include "workload/kv_server.hpp"
+#include "workload/open_loop.hpp"
+
+namespace vprobe::test {
+namespace {
+
+// -- The arrival process --------------------------------------------------------
+
+/// A one-domain host with a KV server to absorb arrivals.
+struct ServingRig {
+  std::unique_ptr<hv::Hypervisor> hv;
+  hv::Domain* dom = nullptr;
+  std::unique_ptr<wl::RequestServer> server;
+};
+
+ServingRig make_rig(std::uint64_t seed, int workers = 4) {
+  ServingRig rig;
+  rig.hv = make_credit_hv(seed);
+  // The memcached worker profile allocates a 512 MB region per worker, so
+  // size the domain to the worker count.
+  rig.dom = &rig.hv->create_domain("kv", workers * kTestGB, workers,
+                                   numa::PlacementPolicy::kFillFirst);
+  wl::RequestServer::Config kcfg;
+  kcfg.workers = workers;
+  kcfg.instr_per_request = 50e3;
+  kcfg.max_batch = 16;
+  kcfg.name = "kv:kv";
+  const auto vcpus = domain_vcpus(*rig.dom);
+  rig.server =
+      std::make_unique<wl::RequestServer>(*rig.hv, *rig.dom, kcfg, vcpus);
+  return rig;
+}
+
+TEST(Arrivals, ClientReplaysTheChildSeedStreamExactly) {
+  ServingRig rig = make_rig(11);
+
+  wl::OpenLoopClient::Config ocfg;
+  ocfg.rps = 5000.0;
+  ocfg.start_s = 0.01;
+  ocfg.seed = 42;
+  wl::OpenLoopClient client(rig.hv->engine(), ocfg, {rig.server.get()});
+  rig.hv->start();
+  client.start();
+  const sim::Time horizon = sim::Time::seconds(2.0);
+  rig.hv->engine().run_until(horizon);
+
+  // Replay the documented stream outside the client: first arrival at
+  // start + Exp(rate), then t += Exp(rate) per arrival, using the same
+  // sim::Time arithmetic.  Anything the client did differently — an extra
+  // draw, a different stream index, rate applied at the wrong time — makes
+  // the counts diverge with overwhelming probability.
+  sim::Rng replay(
+      sim::Rng::child_seed(ocfg.seed, wl::OpenLoopClient::kStreamIndex));
+  sim::Time t = sim::Time::seconds(ocfg.start_s);
+  std::uint64_t predicted = 0;
+  while (true) {
+    t = t + sim::Time::seconds(replay.exponential(ocfg.rps));
+    if (t > horizon) break;
+    ++predicted;
+  }
+  EXPECT_EQ(client.issued(), predicted);
+
+  // The count itself is Poisson(rate * window): mean ~9950, sd ~100.
+  const double expected = ocfg.rps * (2.0 - ocfg.start_s);
+  EXPECT_NEAR(static_cast<double>(predicted), expected,
+              6.0 * std::sqrt(expected));
+  EXPECT_GT(rig.server->served(), 0u);
+  EXPECT_LE(rig.server->served(), client.issued());
+}
+
+TEST(Arrivals, InterarrivalMomentsMatchTheExponentialLaw) {
+  // The gaps are Exp(rate): mean 1/rate, variance 1/rate^2.  40k draws put
+  // the sample mean within ~0.5% (1 sigma) and the sample variance within
+  // ~1.4%; the tolerances below are ~6 sigma.
+  constexpr double kRate = 1000.0;
+  constexpr int kN = 40000;
+  sim::Rng rng(sim::Rng::child_seed(7, wl::OpenLoopClient::kStreamIndex));
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.exponential(kRate);
+    ASSERT_GE(g, 0.0);
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 1.0 / kRate, 0.03 / kRate);
+  EXPECT_NEAR(var, 1.0 / (kRate * kRate), 0.09 / (kRate * kRate));
+}
+
+TEST(Arrivals, RateModulationFollowsTheDocumentedFormula) {
+  ServingRig rig = make_rig(3, 1);
+  wl::OpenLoopClient::Config ocfg;
+  ocfg.rps = 100.0;
+  ocfg.spike_at_s = 1.0;
+  ocfg.spike_until_s = 2.0;
+  ocfg.spike_x = 3.0;
+  ocfg.diurnal_period_s = 4.0;
+  ocfg.diurnal_amp = 0.5;
+  wl::OpenLoopClient client(rig.hv->engine(), ocfg, {rig.server.get()});
+
+  const auto diurnal = [&](double t) {
+    return 1.0 + 0.5 * std::sin(2.0 * std::numbers::pi * t / 4.0);
+  };
+  EXPECT_DOUBLE_EQ(client.rate_at(0.0), 100.0 * diurnal(0.0));
+  EXPECT_DOUBLE_EQ(client.rate_at(0.5), 100.0 * diurnal(0.5));
+  // Inside the spike window the base rate is multiplied by spike_x ...
+  EXPECT_DOUBLE_EQ(client.rate_at(1.0), 300.0 * diurnal(1.0));
+  EXPECT_DOUBLE_EQ(client.rate_at(1.5), 300.0 * diurnal(1.5));
+  // ... and spike_until is exclusive.
+  EXPECT_DOUBLE_EQ(client.rate_at(2.0), 100.0 * diurnal(2.0));
+  EXPECT_DOUBLE_EQ(client.rate_at(3.0), 100.0 * diurnal(3.0));
+
+  // diurnal_amp is clamped so the modulated rate can never reach zero.
+  wl::OpenLoopClient::Config wild = ocfg;
+  wild.diurnal_amp = 2.0;
+  wl::OpenLoopClient clamped(rig.hv->engine(), wild, {rig.server.get()}, 1);
+  EXPECT_DOUBLE_EQ(clamped.config().diurnal_amp, 0.95);
+  EXPECT_GT(clamped.rate_at(3.0), 0.0);
+
+  // rps <= 0 is inert at every t, spike or not.
+  wl::OpenLoopClient::Config off = ocfg;
+  off.rps = 0.0;
+  wl::OpenLoopClient inert(rig.hv->engine(), off, {rig.server.get()}, 2);
+  EXPECT_DOUBLE_EQ(inert.rate_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(inert.rate_at(1.5), 0.0);
+}
+
+TEST(Arrivals, InertClientNeverDrawsAndSetRateRevives) {
+  ServingRig rig = make_rig(5, 2);
+  wl::OpenLoopClient::Config ocfg;
+  ocfg.rps = 0.0;
+  ocfg.seed = 9;
+  wl::OpenLoopClient client(rig.hv->engine(), ocfg, {rig.server.get()});
+  rig.hv->start();
+  client.start();
+  rig.hv->engine().run_until(sim::Time::seconds(0.5));
+  EXPECT_EQ(client.issued(), 0u);
+  EXPECT_EQ(rig.server->served(), 0u);
+
+  // Revival draws from the *front* of the stream: the parked client never
+  // consumed anything while inert.
+  client.set_rate(2000.0);
+  rig.hv->engine().run_until(sim::Time::seconds(1.0));
+  sim::Rng replay(
+      sim::Rng::child_seed(ocfg.seed, wl::OpenLoopClient::kStreamIndex));
+  sim::Time t = sim::Time::seconds(0.5);
+  std::uint64_t predicted = 0;
+  while (true) {
+    t = t + sim::Time::seconds(replay.exponential(2000.0));
+    if (t > sim::Time::seconds(1.0)) break;
+    ++predicted;
+  }
+  EXPECT_EQ(client.issued(), predicted);
+  EXPECT_GT(predicted, 0u);
+}
+
+// -- LatencyHistogram -----------------------------------------------------------
+
+/// Exact ceil-rank order statistic on a sorted sample set.
+double exact_percentile(const std::vector<double>& sorted, double p) {
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+/// Every reported percentile must land within the documented relative
+/// error bound (1/128 plus sub-ns rounding) of the exact order statistic.
+void expect_percentiles_within_bound(const std::vector<double>& samples,
+                                     const char* what) {
+  SCOPED_TRACE(what);
+  stats::LatencyHistogram h;
+  std::vector<double> sorted = samples;
+  for (const double s : samples) h.record(s);
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(h.count(), sorted.size());
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), sorted.front());
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), sorted.back());
+  for (const double p : {1.0, 5.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 99.99}) {
+    const double exact = exact_percentile(sorted, p);
+    const double approx = h.percentile(p);
+    EXPECT_NEAR(approx, exact,
+                exact * stats::LatencyHistogram::max_relative_error() + 2e-9)
+        << "p" << p << " outside the documented error bound";
+  }
+}
+
+TEST(Histogram, PercentilesWithinTheDocumentedBound) {
+  sim::Rng rng(123);
+  std::vector<double> uniform;
+  std::vector<double> exponential;
+  std::vector<double> bimodal;
+  for (int i = 0; i < 40000; ++i) {
+    uniform.push_back(rng.uniform(1e-6, 1e-2));
+    exponential.push_back(rng.exponential(1000.0));
+    bimodal.push_back(rng.chance(0.9) ? rng.uniform(0.8e-3, 1.2e-3)
+                                      : rng.uniform(0.08, 0.12));
+  }
+  expect_percentiles_within_bound(uniform, "uniform(1us, 10ms)");
+  expect_percentiles_within_bound(exponential, "exponential(mean 1ms)");
+  expect_percentiles_within_bound(bimodal, "bimodal(1ms / 100ms)");
+}
+
+TEST(Histogram, SingleValueIsReportedExactly) {
+  // percentile() clamps the bucket midpoint into [min, max], so a
+  // single-valued distribution reports that value with zero error.
+  stats::LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(0.005);
+  EXPECT_DOUBLE_EQ(h.p50_s(), 0.005);
+  EXPECT_DOUBLE_EQ(h.p99_s(), 0.005);
+  EXPECT_DOUBLE_EQ(h.p999_s(), 0.005);
+  EXPECT_DOUBLE_EQ(h.min_s(), 0.005);
+  EXPECT_DOUBLE_EQ(h.max_s(), 0.005);
+  EXPECT_EQ(h.count_above(0.004), 100u);
+  EXPECT_EQ(h.count_above(0.01), 0u);
+}
+
+TEST(Histogram, MergeIsCommutative) {
+  sim::Rng rng(77);
+  stats::LatencyHistogram a;
+  stats::LatencyHistogram b;
+  for (int i = 0; i < 10000; ++i) {
+    a.record(rng.exponential(2000.0));
+    b.record(rng.uniform(1e-4, 5e-2));
+  }
+  stats::LatencyHistogram ab = a;
+  ab.merge(b);
+  stats::LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba) << "merge(a,b) must be bitwise-equal to merge(b,a)";
+  EXPECT_EQ(ab.digest(), ba.digest());
+  EXPECT_EQ(ab.count(), a.count() + b.count());
+  EXPECT_DOUBLE_EQ(ab.min_s(), std::min(a.min_s(), b.min_s()));
+  EXPECT_DOUBLE_EQ(ab.max_s(), std::max(a.max_s(), b.max_s()));
+
+  // Merging an empty histogram is the identity, both ways round.
+  stats::LatencyHistogram empty;
+  stats::LatencyHistogram a2 = a;
+  a2.merge(empty);
+  EXPECT_TRUE(a2 == a);
+  stats::LatencyHistogram e2 = empty;
+  e2.merge(a);
+  EXPECT_TRUE(e2 == a);
+}
+
+TEST(Histogram, WeightedRecordEqualsRepeatedRecords) {
+  // 0.5 s and its multiples are exact in binary, so even the float sum
+  // matches and the histograms compare equal as a whole.
+  stats::LatencyHistogram weighted;
+  weighted.record(0.5, 4);
+  stats::LatencyHistogram repeated;
+  for (int i = 0; i < 4; ++i) repeated.record(0.5);
+  EXPECT_TRUE(weighted == repeated);
+  EXPECT_EQ(weighted.digest(), repeated.digest());
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  stats::LatencyHistogram h;
+  h.record(3600.0);  // beyond the ~18 min representable ceiling
+  h.record(-1.0);    // negative durations clamp to zero
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max_s(), 3600.0);  // extremes stay exact
+  EXPECT_DOUBLE_EQ(h.min_s(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 3600.0);
+}
+
+// -- Seed-averaging rollup ------------------------------------------------------
+
+TEST(Aggregate, MergesDistributionsInsteadOfAveragingPercentiles) {
+  // The regression the scalar rollup had: averaging per-run p99s reports
+  // (1ms + 100ms) / 2 = 50.5 ms for this bimodal pair, wildly wrong for
+  // the pooled distribution whose p99 is 1 ms (1000 of 1010 samples).
+  stats::RunMetrics fast;
+  fast.completed = true;
+  for (int i = 0; i < 1000; ++i) fast.latency.record(0.001);
+  stats::RunMetrics slow;
+  slow.completed = true;
+  for (int i = 0; i < 10; ++i) slow.latency.record(0.1);
+  slow.slo_threshold_s = 0.002;
+  slow.slo_violations = 10;
+
+  stats::MetricsAccumulator acc;
+  acc.add(fast);
+  acc.add(slow);
+  const stats::RunMetrics mean = acc.mean();
+  EXPECT_EQ(mean.latency.count(), 1010u);
+  EXPECT_NEAR(mean.latency_p99_s(), 0.001, 0.001 / 64.0);
+  EXPECT_LT(mean.latency_p99_s(), 0.01)
+      << "p99 looks averaged, not merged (the bimodal regression)";
+  EXPECT_NEAR(mean.latency_p999_s(), 0.1, 0.1 / 64.0);
+  EXPECT_DOUBLE_EQ(mean.latency_max_s(), 0.1);
+  // Violation counts stay totals over the pooled requests; the fraction is
+  // the normalised view.
+  EXPECT_EQ(mean.slo_violations, 10u);
+  EXPECT_DOUBLE_EQ(mean.slo_threshold_s, 0.002);
+  EXPECT_NEAR(mean.slo_violation_fraction(), 10.0 / 1010.0, 1e-12);
+}
+
+// -- Scenario-level: repeatability, stream independence, the golden -------------
+
+constexpr const char* kSingleServing = R"(
+machine xeon_e5620
+scheduler credit
+seed 5
+horizon 0.3
+sampling 0.25
+
+vm name=kv mem=2G vcpus=4
+app vm=kv kind=kv threads=4 instr=100k batch=16
+
+openloop rps=20000 start=0.02
+slo ms=1
+)";
+
+TEST(Serving, SingleMachineRunsAreExactlyRepeatable) {
+  const runner::ScenarioSpec spec = runner::parse_scenario(kSingleServing);
+  ASSERT_TRUE(spec.openloop_enabled);
+  const stats::RunMetrics a = runner::run_scenario(spec);
+  const stats::RunMetrics b = runner::run_scenario(spec);
+  ASSERT_TRUE(a.completed) << "serving-only runs are horizon-bounded by design";
+  EXPECT_GT(a.latency.count(), 1000u);
+  EXPECT_TRUE(a.latency == b.latency);
+  EXPECT_EQ(a.latency.digest(), b.latency.digest());
+  EXPECT_EQ(a.slo_violations, b.slo_violations);
+  EXPECT_DOUBLE_EQ(a.throughput_rps, b.throughput_rps);
+  EXPECT_DOUBLE_EQ(a.slo_threshold_s, 0.001);
+  // The reported quantiles are coherent: min <= p50 <= p99 <= p999 <= max.
+  EXPECT_LE(a.latency.min_s(), a.latency_p50_s());
+  EXPECT_LE(a.latency_p50_s(), a.latency_p99_s());
+  EXPECT_LE(a.latency_p99_s(), a.latency_p999_s());
+  EXPECT_LE(a.latency_p999_s(), a.latency_max_s());
+}
+
+std::string scenario_dir() { return std::string(VPROBE_SCENARIO_DIR); }
+std::string golden_path() {
+  return std::string(VPROBE_GOLDEN_DIR) + "/cluster.txt";
+}
+
+runner::ScenarioSpec load_scenario(const std::string& name) {
+  const std::string path = scenario_dir() + "/" + name + ".scn";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return runner::parse_scenario(buf.str());
+}
+
+struct GoldenEntry {
+  std::uint64_t records = 0;
+  std::string digest;
+};
+
+std::map<std::string, GoldenEntry> load_goldens() {
+  std::map<std::string, GoldenEntry> goldens;
+  std::ifstream in(golden_path());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    GoldenEntry entry;
+    if (fields >> key >> entry.records >> entry.digest) goldens[key] = entry;
+  }
+  return goldens;
+}
+
+void save_goldens(const std::map<std::string, GoldenEntry>& goldens) {
+  std::ofstream out(golden_path());
+  // Keep this header byte-identical to the ones in tests/cluster_test.cpp
+  // and tests/pdes_test.cpp — whichever test regenerates last must not
+  // churn the others' docs.
+  out << "# Cluster golden digests: <key> <records> <fnv1a-64 hex>\n"
+      << "# fleet_mix: examples/scenarios/fleet_mix.scn — 4 heterogeneous\n"
+      << "# hosts, scripted live migration, balancer, churn; records is the\n"
+      << "# fleet-wide trace count, digest the host-id-ordered fleet fold.\n"
+      << "# fleet_mix_pdes: the same scenario at --sim-threads 4; the PDES\n"
+      << "# contract requires it to EQUAL fleet_mix byte for byte.\n"
+      << "# clustered_control: examples/scenarios/clustered_control.scn —\n"
+      << "# control events denser than host events (2 ms churn vs 10 ms tick\n"
+      << "# grids, coincident migrations); pins the batched-window regime.\n"
+      << "# spike_fleet: examples/scenarios/spike_fleet.scn — open-loop\n"
+      << "# Poisson serving fleet (kv servers, 4x arrival spike, SLO\n"
+      << "# accounting, churn); pins the serving stack's event stream.\n"
+      << "# Regenerate: VPROBE_UPDATE_GOLDEN=1 ctest -L cluster -L pdes"
+         " -L serving\n";
+  for (const auto& [key, entry] : goldens) {
+    out << key << ' ' << entry.records << ' ' << entry.digest << '\n';
+  }
+}
+
+bool update_mode() { return std::getenv("VPROBE_UPDATE_GOLDEN") != nullptr; }
+
+TEST(Serving, InertClientNeverPerturbsTheFleetStream) {
+  // The stream-independence contract: enabling the open-loop directive with
+  // rps = 0 constructs the client but never lets it draw, schedule, or
+  // submit — so the fleet's event stream must be IDENTICAL to a run with
+  // the directive disabled entirely.
+  const runner::ScenarioSpec spec = load_scenario("spike_fleet");
+  ASSERT_TRUE(spec.openloop_enabled);
+  runner::ScenarioSpec off = spec;
+  off.openloop_enabled = false;
+  runner::ScenarioSpec inert = spec;
+  inert.openloop.rps = 0.0;
+  const stats::RunMetrics a = runner::run_scenario(off);
+  const stats::RunMetrics b = runner::run_scenario(inert);
+  EXPECT_EQ(a.cluster.fleet_digest, b.cluster.fleet_digest)
+      << "an inert client perturbed the fleet stream";
+  ASSERT_EQ(a.hosts.size(), b.hosts.size());
+  for (std::size_t i = 0; i < a.hosts.size(); ++i) {
+    EXPECT_EQ(a.hosts[i].trace_digest, b.hosts[i].trace_digest);
+    EXPECT_EQ(a.hosts[i].trace_records, b.hosts[i].trace_records);
+  }
+  EXPECT_EQ(b.latency.count(), 0u);
+  EXPECT_EQ(b.slo_violations, 0u);
+}
+
+void expect_serving_identical(const stats::RunMetrics& a,
+                              const stats::RunMetrics& b) {
+  EXPECT_EQ(a.cluster.fleet_digest, b.cluster.fleet_digest);
+  ASSERT_EQ(a.hosts.size(), b.hosts.size());
+  for (std::size_t i = 0; i < a.hosts.size(); ++i) {
+    EXPECT_EQ(a.hosts[i].trace_digest, b.hosts[i].trace_digest)
+        << "host " << i << " stream diverged";
+    EXPECT_EQ(a.hosts[i].trace_records, b.hosts[i].trace_records);
+    EXPECT_TRUE(a.hosts[i].latency == b.hosts[i].latency)
+        << "host " << i << " latency histogram diverged";
+    EXPECT_EQ(a.hosts[i].slo_violations, b.hosts[i].slo_violations);
+  }
+  EXPECT_TRUE(a.latency == b.latency);
+  EXPECT_EQ(a.latency.digest(), b.latency.digest());
+  EXPECT_EQ(a.slo_violations, b.slo_violations);
+  EXPECT_DOUBLE_EQ(a.throughput_rps, b.throughput_rps);
+}
+
+TEST(SpikeFleet, JobsAndShardCountsNeverChangeTheServingStats) {
+  const runner::ScenarioSpec spec = load_scenario("spike_fleet");
+  ASSERT_TRUE(spec.cluster_mode());
+  const stats::RunMetrics serial = runner::run_scenario(spec);
+  ASSERT_GT(serial.latency.count(), 0u);
+  ASSERT_GT(serial.slo_violations, 0u)
+      << "the spike must push the fleet past its SLO";
+
+  // --jobs 2: two concurrent executor workers running the same spec must
+  // both reproduce the serial stream and stats bit for bit.
+  const auto job = [&spec](const runner::RunConfig& c) {
+    runner::ScenarioSpec seeded = spec;
+    seeded.seed = c.seed;
+    return runner::run_scenario(seeded);
+  };
+  runner::RunConfig cfg;
+  cfg.seed = spec.seed;
+  runner::RunPlan plan;
+  plan.add(runner::RunSpec::custom_job(cfg, "spike-a", job));
+  plan.add(runner::RunSpec::custom_job(cfg, "spike-b", job));
+  runner::ExecutorOptions opts;
+  opts.jobs = 2;
+  const auto results = runner::execute_plan(plan, opts);
+  for (const auto& r : results) {
+    SCOPED_TRACE("--jobs 2");
+    expect_serving_identical(serial, r);
+  }
+
+  // --sim-threads {2,4}: the PDES path must reproduce the digests, the
+  // full latency histogram, and the violation counts.
+  for (const int threads : {2, 4}) {
+    SCOPED_TRACE("sim_threads " + std::to_string(threads));
+    runner::ScenarioSpec sharded = spec;
+    sharded.sim_threads = threads;
+    expect_serving_identical(serial, runner::run_scenario(sharded));
+  }
+}
+
+TEST(SpikeFleet, GoldenFleetDigest) {
+  const runner::ScenarioSpec spec = load_scenario("spike_fleet");
+  ASSERT_TRUE(spec.cluster_mode());
+  ASSERT_TRUE(spec.openloop_enabled);
+  const stats::RunMetrics m = runner::run_scenario(spec);
+  ASSERT_TRUE(m.completed);
+  ASSERT_GT(m.latency.count(), 10000u) << "the spike run must serve traffic";
+  ASSERT_GT(m.slo_violations, 0u);
+
+  GoldenEntry actual;
+  for (const auto& h : m.hosts) actual.records += h.trace_records;
+  actual.digest = trace::digest_hex(m.cluster.fleet_digest);
+  ASSERT_GT(actual.records, 0u);
+
+  auto goldens = load_goldens();
+  if (update_mode()) {
+    goldens["spike_fleet"] = actual;
+    save_goldens(goldens);
+    GTEST_SKIP() << "golden updated: spike_fleet = " << actual.digest;
+  }
+  ASSERT_TRUE(goldens.count("spike_fleet"))
+      << "no golden for 'spike_fleet' in " << golden_path()
+      << " — run VPROBE_UPDATE_GOLDEN=1 ctest -L serving";
+  EXPECT_EQ(goldens["spike_fleet"].records, actual.records);
+  EXPECT_EQ(goldens["spike_fleet"].digest, actual.digest)
+      << "serving event stream changed. If intentional, regenerate with "
+      << "VPROBE_UPDATE_GOLDEN=1 ctest -L serving";
+}
+
+}  // namespace
+}  // namespace vprobe::test
