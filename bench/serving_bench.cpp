@@ -17,9 +17,16 @@
 //     the fleet;
 //   * --sim-threads 4 reproduces the serial run bit for bit: fleet digest,
 //     per-host trace digests, the full latency histogram, and the
-//     violation count.
+//     violation count;
+//   * a short 1M-rps saturating window where lazy arrival delivery
+//     (docs/SERVING.md) must match --no-lazy-arrivals bit for bit while
+//     paying >=5x fewer engine events per request.
+//
+// --rps N [--horizon H] benches the arrival hot path alone: the regime at a
+// saturating rate, lazy vs eager, reporting events/request and wall clock.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -65,11 +72,14 @@ struct ServingRow {
 };
 
 stats::RunMetrics run_spike(runner::SchedKind sched, int sim_threads,
-                            double horizon_override = 0.0) {
+                            double horizon_override = 0.0,
+                            double rps_override = 0.0, bool lazy = true) {
   runner::ScenarioSpec spec = runner::parse_scenario(kSpikeFleet);
   spec.sched = sched;
   spec.sim_threads = sim_threads;
   if (horizon_override > 0.0) spec.horizon_s = horizon_override;
+  if (rps_override > 0.0) spec.openloop.rps = rps_override;
+  spec.lazy_arrivals = lazy;
   return runner::run_scenario(spec);
 }
 
@@ -118,16 +128,103 @@ int run_smoke() {
            sharded.slo_violations == serial.slo_violations,
        "latency histogram + SLO count identical under sharding");
 
+  // Million-RPS gate: a short saturating window (the spike never arrives)
+  // where lazy arrival delivery must be bit-identical to the per-arrival
+  // event path while paying >=5x fewer engine events per request.
+  const stats::RunMetrics lazy_hot =
+      run_spike(runner::SchedKind::kVprobe, 1, 0.12, 1e6, true);
+  const stats::RunMetrics eager_hot =
+      run_spike(runner::SchedKind::kVprobe, 1, 0.12, 1e6, false);
+  gate(lazy_hot.cluster.fleet_digest == eager_hot.cluster.fleet_digest,
+       "1M-rps: lazy delivery reproduces the eager fleet digest");
+  gate(hosts_identical(lazy_hot, eager_hot),
+       "1M-rps: per-host traces + serving stats identical lazy vs eager");
+  gate(lazy_hot.latency == eager_hot.latency &&
+           lazy_hot.slo_violations == eager_hot.slo_violations,
+       "1M-rps: latency histogram + SLO count identical lazy vs eager");
+  gate(eager_hot.arrivals_coalesced == 0,
+       "1M-rps: the eager path coalesces nothing");
+  gate(lazy_hot.arrivals_coalesced > 0,
+       "1M-rps: lazy delivery coalesces arrivals");
+  gate(lazy_hot.arrival_events * 5 <= eager_hot.arrival_events,
+       "1M-rps: lazy delivery pays >=5x fewer arrival events");
+
   std::printf("serving smoke: %d failure(s)\n", failures);
   return failures == 0 ? 0 : 1;
+}
+
+// --rps mode: the arrival hot path in isolation.  Runs the spike_fleet
+// regime at the requested (saturating) rate with lazy delivery on and off,
+// checks bit-identity, and reports the event-count and wall-clock win.
+int run_hot_path(double rps, double horizon) {
+  std::printf(
+      "arrival hot path: spike_fleet regime @ %.0f rps, horizon %.2f s\n\n",
+      rps, horizon);
+
+  struct HotRow {
+    const char* label;
+    stats::RunMetrics m;
+    double wall_ms = 0.0;
+  };
+  HotRow rows[2] = {{"lazy (default)", {}, 0.0},
+                    {"--no-lazy-arrivals", {}, 0.0}};
+  for (int i = 0; i < 2; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    rows[i].m =
+        run_spike(runner::SchedKind::kVprobe, 1, horizon, rps, i == 0);
+    rows[i].wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  }
+
+  stats::Table table({"mode", "requests", "arrival events", "events/req",
+                      "coalesced", "wall ms"});
+  for (const HotRow& r : rows) {
+    const double per_req =
+        r.m.latency.count() == 0
+            ? 0.0
+            : static_cast<double>(r.m.arrival_events) /
+                  static_cast<double>(r.m.latency.count());
+    table.add_row({r.label, std::to_string(r.m.latency.count()),
+                   std::to_string(r.m.arrival_events),
+                   stats::fmt(per_req, "%.4f"),
+                   std::to_string(r.m.arrivals_coalesced),
+                   stats::fmt(r.wall_ms, "%.1f")});
+  }
+  table.print();
+
+  const bool identical =
+      rows[0].m.cluster.fleet_digest == rows[1].m.cluster.fleet_digest &&
+      hosts_identical(rows[0].m, rows[1].m) &&
+      rows[0].m.latency == rows[1].m.latency &&
+      rows[0].m.slo_violations == rows[1].m.slo_violations;
+  std::printf("\nbit-identity lazy vs eager: %s\n",
+              identical ? "IDENTICAL" : "DIVERGED");
+  if (rows[1].m.arrival_events > 0) {
+    std::printf("event reduction: %.1fx fewer arrival events, %.2fx wall\n",
+                static_cast<double>(rows[1].m.arrival_events) /
+                    static_cast<double>(
+                        rows[0].m.arrival_events ? rows[0].m.arrival_events
+                                                 : 1),
+                rows[1].wall_ms / (rows[0].wall_ms > 0 ? rows[0].wall_ms : 1));
+  }
+  return identical ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  double rps = 0.0;
+  double horizon = 0.12;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+    if (std::strcmp(argv[i], "--rps") == 0 && i + 1 < argc) {
+      rps = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--horizon") == 0 && i + 1 < argc) {
+      horizon = std::atof(argv[++i]);
+    }
   }
+  if (rps > 0.0) return run_hot_path(rps, horizon);
 
   std::printf("Tail-latency serving: spike_fleet across all schedulers\n");
   std::printf(

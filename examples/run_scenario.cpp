@@ -53,6 +53,9 @@ int main(int argc, char** argv) {
           "                   bit-identical to --sim-threads 1\n"
           "  --no-window-batch  sharded cluster scenarios: disable batched\n"
           "                   windows (bit-identical either way)\n"
+          "  --no-lazy-arrivals  openloop scenarios: one engine event per\n"
+          "                   arrival instead of pre-drawn lazy blocks\n"
+          "                   (bit-identical either way)\n"
           "  --rps R          override the openloop base arrival rate\n"
           "                   (scenario must declare kind=kv apps)\n"
           "  --slo-ms M       override the request-latency SLO threshold"))
@@ -99,6 +102,7 @@ int main(int argc, char** argv) {
   cfg.repeats = cli.get_int("repeats", 1);
   cfg.sim_threads = cli.get_int("sim-threads", 1);
   cfg.window_batch = !cli.has("no-window-batch");
+  cfg.lazy_arrivals = !cli.has("no-lazy-arrivals");
   runner::RunPlan plan;
   plan.add(runner::RunSpec::custom_job(
       cfg, "scenario", [&spec](const runner::RunConfig& c) {
@@ -106,6 +110,7 @@ int main(int argc, char** argv) {
         seeded.seed = c.seed;
         seeded.sim_threads = c.sim_threads;
         seeded.window_batch = c.window_batch;
+        seeded.lazy_arrivals = c.lazy_arrivals;
         return runner::run_scenario(seeded);
       }));
   runner::ExecutorOptions opts;

@@ -36,7 +36,7 @@ echo "== fleet scaling smoke (cluster determinism + live migration + FleetCheck)
 echo "== PDES scaling smoke (sharded/batched/unbatched digest identity + coalescing proof) =="
 ./build/bench/pdes_scaling --smoke
 
-echo "== serving smoke (calm prefix + spike collapse + open-loop PDES identity) =="
+echo "== serving smoke (calm prefix + spike collapse + PDES identity + 1M-rps lazy-arrival gate) =="
 ./build/bench/serving_bench --smoke
 
 echo "== tsan preset: parallel-executor tests under ThreadSanitizer =="

@@ -90,6 +90,7 @@ BenchFlags parse_bench_flags(const Cli& cli, double default_scale) {
   flags.config.rate_cache = !cli.has("no-rate-cache");
   flags.config.sim_threads = cli.get_int("sim-threads", 1);
   flags.config.window_batch = !cli.has("no-window-batch");
+  flags.config.lazy_arrivals = !cli.has("no-lazy-arrivals");
   if (cli.has("json")) {
     const std::string path = cli.get("json", "-");
     flags.json_path = (path == "1") ? "-" : path;
@@ -138,6 +139,10 @@ bool maybe_print_help(const Cli& cli, const char* summary, const char* extra) {
       "                   runs: every control event pays a full all-shard\n"
       "                   barrier again (bit-identical either way; the\n"
       "                   escape hatch the pdes differential sweep uses)\n"
+      "  --no-lazy-arrivals  deliver open-loop arrivals one engine event\n"
+      "                   per request instead of pre-drawn lazy blocks\n"
+      "                   (bit-identical either way; the escape hatch the\n"
+      "                   serving identity tests use, docs/SERVING.md)\n"
       "  --help           this text\n");
   if (extra != nullptr && *extra != '\0') {
     std::printf("\n%s\n", extra);

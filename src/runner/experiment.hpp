@@ -42,6 +42,11 @@ struct RunConfig {
   /// coalesce control events and dispatch only busy shards.  Bit-identical
   /// either way (docs/PDES.md); serial runs ignore it.
   bool window_batch = true;
+  /// Lazy open-loop arrival delivery (--no-lazy-arrivals clears it):
+  /// pre-draw arrival blocks and deliver them at coupling points instead
+  /// of one engine event per request.  Bit-identical either way
+  /// (docs/SERVING.md); runs without an open-loop client ignore it.
+  bool lazy_arrivals = true;
 };
 
 /// SPEC CPU2006 workload (Figure 4): VM1 and VM2 run identical instance

@@ -259,6 +259,11 @@ ScenarioSpec parse_scenario(std::string_view text) {
           spec.openloop.diurnal_period_s = wl::parse_scaled(v);
         } else if (k == "diurnal_amp") {
           spec.openloop.diurnal_amp = wl::parse_scaled(v);
+        } else if (k == "balance") {
+          if (v != "rr" && v != "p2c") {
+            throw err(line_no, "openloop balance must be rr or p2c");
+          }
+          spec.openloop.balance = v;
         } else {
           throw err(line_no, "unknown openloop field '" + k + "'");
         }
@@ -414,6 +419,10 @@ wl::OpenLoopClient::Config open_loop_config(const ScenarioSpec& spec) {
   ocfg.spike_x = spec.openloop.spike_x;
   ocfg.diurnal_period_s = spec.openloop.diurnal_period_s;
   ocfg.diurnal_amp = spec.openloop.diurnal_amp;
+  ocfg.lazy = spec.lazy_arrivals;
+  ocfg.balance = spec.openloop.balance == "p2c"
+                     ? wl::OpenLoopClient::Config::Balance::kP2c
+                     : wl::OpenLoopClient::Config::Balance::kRoundRobin;
   return ocfg;
 }
 
@@ -725,6 +734,14 @@ stats::RunMetrics run_cluster_scenario(const ScenarioSpec& spec) {
       metrics.throughput_rps =
           static_cast<double>(served) / metrics.sim_seconds;
     }
+    // Arrival-path accounting: client-side events (one per arrival eager,
+    // one per block boundary lazy) plus server-side materialization events,
+    // and the requests delivered without an engine event of their own.
+    if (open_loop) metrics.arrival_events = open_loop->arrival_events();
+    for (const auto& s : kv_servers) {
+      metrics.arrival_events += s->arrival_events();
+      metrics.arrivals_coalesced += s->arrivals_coalesced();
+    }
   }
 
   metrics.cluster.admitted = fleet.admitted();
@@ -939,6 +956,11 @@ stats::RunMetrics run_scenario(const ScenarioSpec& spec) {
     if (metrics.sim_seconds > 0) {
       metrics.throughput_rps =
           static_cast<double>(served) / metrics.sim_seconds;
+    }
+    if (open_loop) metrics.arrival_events = open_loop->arrival_events();
+    for (const auto& s : kv_servers) {
+      metrics.arrival_events += s->arrival_events();
+      metrics.arrivals_coalesced += s->arrivals_coalesced();
     }
   }
   return metrics;

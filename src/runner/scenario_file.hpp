@@ -113,6 +113,10 @@ struct ScenarioSpec {
     double spike_x = 1.0;
     double diurnal_period_s = 0.0;
     double diurnal_amp = 0.0;
+    /// Server pick per arrival: "rr" (round-robin, default) or "p2c"
+    /// (deterministic power-of-two-choices on the client's own stream;
+    /// reads queue depths at arrival time, so it always runs eagerly).
+    std::string balance = "rr";
   };
   bool openloop_enabled = false;
   OpenLoopSpec openloop;
@@ -156,6 +160,10 @@ struct ScenarioSpec {
   /// set from --no-window-batch / RunConfig by the caller, same reasoning
   /// as sim_threads: bit-identical either way, docs/PDES.md).
   bool window_batch = true;
+  /// Lazy open-loop arrival delivery (no file directive — set from
+  /// --no-lazy-arrivals / RunConfig by the caller, same reasoning as
+  /// window_batch: bit-identical either way, docs/SERVING.md).
+  bool lazy_arrivals = true;
 };
 
 /// Parse the scenario text.  Throws std::invalid_argument with a line

@@ -57,10 +57,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 
 double Rng::exponential(double rate) {
   assert(rate > 0.0);
-  double u = uniform();
-  // Guard against log(0).
-  if (u <= 0.0) u = 0x1.0p-53;
-  return -std::log(u) / rate;
+  return exp_transform(draw_unit(), rate);
 }
 
 double Rng::normal(double mean, double stddev) {

@@ -35,6 +35,22 @@ class Rng {
   /// Exponentially distributed value with the given rate (mean = 1/rate).
   double exponential(double rate);
 
+  /// The guarded unit uniform exponential() consumes: one next() call,
+  /// clamped away from zero so log() stays finite.  Exposed so callers may
+  /// pre-draw raws and apply exp_transform() later — under a rate that was
+  /// not known at draw time — and still match exponential() bit for bit
+  /// (the lazy arrival blocks in wl::OpenLoopClient, docs/SERVING.md).
+  double draw_unit() {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return u;
+  }
+
+  /// exponential(rate) == exp_transform(draw_unit(), rate), bit for bit.
+  static double exp_transform(double u, double rate) {
+    return -std::log(u) / rate;
+  }
+
   /// Normal (Gaussian) variate via Box–Muller.
   double normal(double mean, double stddev);
 

@@ -22,6 +22,9 @@ void MetricsAccumulator::add(const RunMetrics& m) {
   acc_.latency.merge(m.latency);
   acc_.slo_violations += m.slo_violations;
   if (acc_.slo_threshold_s == 0.0) acc_.slo_threshold_s = m.slo_threshold_s;
+  // Arrival-path counters total over the pooled runs, like slo_violations.
+  acc_.arrival_events += m.arrival_events;
+  acc_.arrivals_coalesced += m.arrivals_coalesced;
   acc_.overhead_fraction += m.overhead_fraction;
   acc_.migrations += m.migrations;
   acc_.cross_node_migrations += m.cross_node_migrations;

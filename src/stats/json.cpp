@@ -137,6 +137,8 @@ std::string to_json(const RunMetrics& m) {
       .member("slo_threshold_s", m.slo_threshold_s)
       .member("slo_violations", m.slo_violations)
       .member("slo_violation_fraction", m.slo_violation_fraction())
+      .member("arrival_events", m.arrival_events)
+      .member("arrivals_coalesced", m.arrivals_coalesced)
       .member("overhead_fraction", m.overhead_fraction)
       .member("migrations", static_cast<std::uint64_t>(m.migrations))
       .member("cross_node_migrations",

@@ -81,6 +81,14 @@ struct RunMetrics {
   double slo_threshold_s = 0.0;
   std::uint64_t slo_violations = 0;
 
+  /// Open-loop arrival-path accounting (docs/SERVING.md): engine events
+  /// the arrival path paid (client arrival/boundary events plus server
+  /// materialization events) and requests delivered without an event of
+  /// their own.  Eager runs coalesce nothing; every digest stays
+  /// identical while these counters measure the events not paid.
+  std::uint64_t arrival_events = 0;
+  std::uint64_t arrivals_coalesced = 0;
+
   double latency_p50_s() const { return latency.p50_s(); }
   double latency_p99_s() const { return latency.p99_s(); }
   double latency_p999_s() const { return latency.p999_s(); }

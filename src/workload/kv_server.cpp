@@ -35,6 +35,8 @@ RequestServer::RequestServer(hv::Hypervisor& hv, hv::Domain& domain,
   }
 }
 
+RequestServer::~RequestServer() { future_event_.cancel(); }
+
 std::int64_t RequestServer::pending() const {
   std::int64_t total = 0;
   for (auto p : pending_) total += p;
@@ -42,18 +44,104 @@ std::int64_t RequestServer::pending() const {
 }
 
 void RequestServer::submit(int n) {
-  while (n > 0) {
-    submit_to(round_robin_, 1);
-    round_robin_ = (round_robin_ + 1) % workers();
-    --n;
-  }
+  if (n <= 0) return;
+  absorb_due(false);
+  enqueue_rr(hv_->now(), n);
 }
 
 void RequestServer::submit_to(int worker, int n) {
   if (n <= 0) return;
+  absorb_due(false);
   pending_[static_cast<std::size_t>(worker)] += n;
   arrival_queues_[static_cast<std::size_t>(worker)].emplace_back(hv_->now(), n);
   kick(worker);
+}
+
+void RequestServer::enqueue_rr(sim::Time when, int n) {
+  const int nw = workers();
+  const int start = round_robin_;
+  round_robin_ = (start + n) % nw;
+  // Worker visited at step s takes the requests the one-at-a-time loop
+  // would have dealt it, merged into a single arrival record.
+  const int full = n / nw;
+  const int extra = n % nw;
+  for (int step = 0; step < nw; ++step) {
+    const int share = full + (step < extra ? 1 : 0);
+    if (share == 0) break;
+    const auto w = static_cast<std::size_t>((start + step) % nw);
+    arrival_queues_[w].emplace_back(when, share);
+    // The kick must see the pending count the per-request loop had when it
+    // first touched this worker: a parked worker starts a batch of one,
+    // the rest of the share lands as bookkeeping behind the started burst.
+    pending_[w] += 1;
+    kick(static_cast<int>(w));
+    pending_[w] += share - 1;
+  }
+}
+
+void RequestServer::submit_at(sim::Time when, int n) {
+  if (n <= 0) return;
+  // Keep the projection time-ordered; a single client pushes in
+  // non-decreasing time order, so this insert is O(1) amortized.
+  auto it = future_.end();
+  while (it != future_.begin() && std::prev(it)->first > when) --it;
+  future_.insert(it, {when, n});
+  update_future_event();
+}
+
+void RequestServer::absorb_future(sim::Time upto) {
+  while (!future_.empty() && future_.front().first <= upto) {
+    const auto [when, n] = future_.front();
+    future_.pop_front();
+    enqueue_rr(when, n);
+    arrivals_coalesced_ += static_cast<std::uint64_t>(n);
+  }
+}
+
+void RequestServer::retract_future_after(sim::Time cut) {
+  while (!future_.empty() && future_.back().first > cut) future_.pop_back();
+}
+
+void RequestServer::absorb_due(bool via_event) {
+  const sim::Time now = hv_->now();
+  bool first = via_event;
+  while (!future_.empty() && future_.front().first <= now) {
+    const auto [when, n] = future_.front();
+    future_.pop_front();
+    enqueue_rr(when, n);
+    // The first request delivered by a materialization event rides that
+    // event; everything else arrives without an engine event of its own.
+    arrivals_coalesced_ += static_cast<std::uint64_t>(n) - (first ? 1 : 0);
+    first = false;
+  }
+}
+
+bool RequestServer::any_worker_parked() const {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (inflight_[w] == 0 && !workers_[w]->stopped() &&
+        vcpus_[w]->state == hv::VcpuState::kBlocked) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RequestServer::update_future_event() {
+  if (!any_worker_parked()) return;
+  arm_future_event();
+}
+
+void RequestServer::arm_future_event() {
+  if (future_.empty()) return;
+  const sim::Time when = std::max(future_.front().first, hv_->now());
+  if (future_event_.pending() && future_event_when_ <= when) return;
+  future_event_.cancel();
+  future_event_when_ = when;
+  future_event_ = hv_->engine().schedule_at(when, [this] {
+    ++arrival_events_;
+    absorb_due(true);
+    update_future_event();
+  });
 }
 
 void RequestServer::kick(int worker) {
@@ -75,6 +163,11 @@ void RequestServer::kick(int worker) {
 
 hv::Outcome RequestServer::worker_batch_done(int worker, sim::Time now) {
   const auto w = static_cast<std::size_t>(worker);
+  // Deliver projected arrivals due by now BEFORE settling this batch: the
+  // kick inside delivery no-ops on this worker (its burst is still marked
+  // in flight), and the refill below then sees exactly the pending count
+  // the per-arrival event stream would have accumulated.
+  absorb_due(false);
   const int done = inflight_[w];
   inflight_[w] = 0;
   served_ += static_cast<std::uint64_t>(done);
@@ -110,6 +203,11 @@ hv::Outcome RequestServer::worker_batch_done(int worker, sim::Time now) {
     workers_[w]->begin_batch(batch * instr_per_request_);
     return {hv::OutcomeKind::kContinue};
   }
+  // This worker is about to park (its VCPU blocks once we return, so the
+  // parked predicate would not see it yet): materialize the earliest
+  // projected arrival as a real event so its wake fires at exactly the
+  // time a per-arrival event stream would produce.
+  arm_future_event();
   return {hv::OutcomeKind::kBlockUntilWake};
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
 #include "workload/app.hpp"
@@ -36,12 +37,34 @@ class RequestServer {
 
   RequestServer(hv::Hypervisor& hv, hv::Domain& domain, Config config,
                 std::span<hv::Vcpu* const> vcpus);
+  ~RequestServer();
+
+  RequestServer(const RequestServer&) = delete;
+  RequestServer& operator=(const RequestServer&) = delete;
 
   /// Enqueue `n` requests, spread round-robin over the workers.
   void submit(int n);
 
   /// Enqueue `n` requests on a specific worker (used by paired clients).
   void submit_to(int worker, int n);
+
+  /// Lazy arrival delivery (docs/SERVING.md): record a projected future
+  /// arrival of `n` requests at absolute time `when` without creating an
+  /// engine event.  Projections are delivered ("absorbed") with their true
+  /// timestamps at the next coupling point — a direct submit, a worker
+  /// batch completion, or the materialization event this server arms while
+  /// any worker is parked — so wakes, sojourns, and SLO counts land at
+  /// exactly the times a per-arrival event stream would produce.  Assumes
+  /// a single pushing client whose `when`s are non-decreasing per server.
+  void submit_at(sim::Time when, int n);
+
+  /// Deliver every projected arrival due at or before `upto` (the pushing
+  /// client's stop()/flush path; `upto` must not exceed the current time).
+  void absorb_future(sim::Time upto);
+
+  /// Drop projected arrivals strictly later than `cut` (the pushing
+  /// client's set_rate/stop retraction of re-drawn gaps).
+  void retract_future_after(sim::Time cut);
 
   /// Clean shutdown before domain destruction: workers retire at their next
   /// batch boundary and ignore further submits (stopped threads never kick).
@@ -77,6 +100,12 @@ class RequestServer {
   double slo_threshold() const { return slo_threshold_s_; }
   std::uint64_t slo_violations() const { return slo_violations_; }
 
+  /// Arrival-path accounting (docs/SERVING.md): engine events this server
+  /// paid to materialize projected arrivals, and requests delivered without
+  /// an engine event of their own (absorbed at an existing coupling point).
+  std::uint64_t arrival_events() const { return arrival_events_; }
+  std::uint64_t arrivals_coalesced() const { return arrivals_coalesced_; }
+
  private:
   class Worker : public ComputeThread {
    public:
@@ -100,6 +129,27 @@ class RequestServer {
   /// Start a new batch on an idle worker if it has pending requests.
   void kick(int worker);
 
+  /// Append `n` requests at timestamp `when`, round-robin across workers in
+  /// O(workers): one arrival record per worker visited, kicks in the same
+  /// order as the one-at-a-time loop this replaces.
+  void enqueue_rr(sim::Time when, int n);
+
+  /// Deliver projected arrivals due at or before the current time.
+  /// `via_event` marks delivery from the materialization event (the first
+  /// request then rides that event; only the rest count as coalesced).
+  void absorb_due(bool via_event);
+
+  bool any_worker_parked() const;
+
+  /// (Re)arm the materialization event at the earliest projected arrival
+  /// while any worker is parked; stale later events are left to fire and
+  /// reschedule themselves harmlessly.
+  void update_future_event();
+
+  /// update_future_event() without the parked check (a worker parking
+  /// inside worker_batch_done is not yet kBlocked when it arms this).
+  void arm_future_event();
+
   hv::Hypervisor* hv_;
   std::string name_;
   double instr_per_request_;
@@ -116,6 +166,12 @@ class RequestServer {
   std::uint64_t slo_violations_ = 0;
   std::uint64_t served_ = 0;
   int round_robin_ = 0;
+  /// Projected (undelivered) arrivals, time-ordered: (arrival time, count).
+  std::deque<std::pair<sim::Time, int>> future_;
+  sim::EventHandle future_event_;
+  sim::Time future_event_when_ = sim::Time::zero();
+  std::uint64_t arrival_events_ = 0;
+  std::uint64_t arrivals_coalesced_ = 0;
 };
 
 }  // namespace vprobe::wl

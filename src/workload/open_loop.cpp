@@ -18,6 +18,7 @@ OpenLoopClient::OpenLoopClient(sim::Engine& engine, Config config,
   }
   cfg_.diurnal_amp = std::clamp(cfg_.diurnal_amp, 0.0, 0.95);
   if (cfg_.spike_x < 0.0) cfg_.spike_x = 0.0;
+  if (cfg_.block < 1) cfg_.block = 1;
 }
 
 OpenLoopClient::~OpenLoopClient() { next_.cancel(); }
@@ -42,21 +43,65 @@ void OpenLoopClient::start() {
   running_ = true;
   const sim::Time from =
       std::max(engine_->now(), sim::Time::seconds(cfg_.start_s));
-  schedule_next(from);
+  if (!lazy_active()) {
+    schedule_next(from);
+    return;
+  }
+  extend_block(from);
+  push_and_arm(0);
 }
 
 void OpenLoopClient::stop() {
+  if (lazy_active() && running_) {
+    const sim::Time now = engine_->now();
+    // Projected arrivals at or before now happened: deliver them at their
+    // true timestamps (pure bookkeeping — any worker parked since such a
+    // time would already have materialized it, so no wake can fire here).
+    std::size_t k = 0;
+    while (k < block_.size() && block_[k].when <= now) ++k;
+    // The eager client drew the gap of its one in-flight arrival and
+    // discards it on stop; later gaps were never drawn — those raws return
+    // to the spare pool so a restart continues the stream exactly.
+    const std::size_t cut = std::min(block_.size(), k + 1);
+    for (std::size_t j = block_.size(); j > cut; --j) {
+      spare_.push_front(block_[j - 1].raw);
+    }
+    const std::size_t s = servers_.size();
+    round_robin_ = (round_robin_ + s - (block_.size() - k) % s) % s;
+    issued_base_ += k;
+    block_.clear();
+    parked_ = false;
+    for (RequestServer* srv : servers_) {
+      srv->absorb_future(now);
+      srv->retract_future_after(now);
+    }
+  }
   running_ = false;
   next_.cancel();
 }
 
 void OpenLoopClient::set_rate(double rps) {
   cfg_.rps = rps;
-  if (running_ && !next_.pending() && rps > 0.0 &&
-      (cfg_.max_requests == 0 || issued_ < cfg_.max_requests)) {
-    schedule_next(engine_->now());
+  if (!running_) return;
+  if (!lazy_active()) {
+    if (!next_.pending() && rps > 0.0 &&
+        (cfg_.max_requests == 0 || issued_ < cfg_.max_requests)) {
+      schedule_next(engine_->now());
+    }
+    return;
   }
+  reproject(engine_->now());
 }
+
+std::uint64_t OpenLoopClient::issued() const {
+  if (!lazy_active()) return issued_;
+  const sim::Time now = engine_->now();
+  std::size_t k = block_.size();
+  while (k > 0 && block_[k - 1].when > now) --k;
+  return issued_base_ + k;
+}
+
+// ---- eager (per-arrival event) path ---------------------------------------
 
 void OpenLoopClient::schedule_next(sim::Time from) {
   const double rate = rate_at(from.to_seconds());
@@ -72,12 +117,131 @@ void OpenLoopClient::schedule_next(sim::Time from) {
 
 void OpenLoopClient::arrive() {
   if (!running_) return;
-  RequestServer* server = servers_[round_robin_];
-  round_robin_ = (round_robin_ + 1) % servers_.size();
-  server->submit(1);
+  ++arrival_events_;
+  std::size_t target;
+  if (cfg_.balance == Config::Balance::kP2c) {
+    target = pick_p2c();
+  } else {
+    target = round_robin_;
+    round_robin_ = (round_robin_ + 1) % servers_.size();
+  }
+  servers_[target]->submit(1);
   ++issued_;
   if (cfg_.max_requests != 0 && issued_ >= cfg_.max_requests) return;
   schedule_next(engine_->now());
+}
+
+std::size_t OpenLoopClient::pick_p2c() {
+  // Power-of-two-choices on the client's own stream: sample two servers,
+  // dispatch to the shorter queue, deterministic tie-break on index.
+  const std::size_t a = rng_.pick_index(servers_.size());
+  const std::size_t b = rng_.pick_index(servers_.size());
+  const std::int64_t qa = servers_[a]->pending();
+  const std::int64_t qb = servers_[b]->pending();
+  if (qb < qa) return b;
+  if (qa < qb) return a;
+  return std::min(a, b);
+}
+
+// ---- lazy (pre-drawn block) path ------------------------------------------
+
+void OpenLoopClient::extend_block(sim::Time base) {
+  parked_ = false;
+  const auto cap = static_cast<std::size_t>(cfg_.block);
+  while (block_.size() < cap) {
+    if (cfg_.max_requests != 0 &&
+        issued_base_ + block_.size() >= cfg_.max_requests) {
+      return;
+    }
+    const sim::Time prev = block_.empty() ? base : block_.back().when;
+    const double rate = rate_at(prev.to_seconds());
+    if (rate <= 0.0) {
+      // Zero rate parks the chain without consuming a draw, exactly like
+      // the eager schedule_next(); set_rate() revives it.
+      parked_ = true;
+      return;
+    }
+    // Spare raws (retracted by an earlier set_rate/stop) are consumed
+    // before fresh draws, so the sequence of raw uniforms behind the gaps
+    // is always the eager client's draw sequence.
+    double raw;
+    if (!spare_.empty()) {
+      raw = spare_.front();
+      spare_.pop_front();
+    } else {
+      raw = rng_.draw_unit();
+    }
+    const sim::Time when =
+        prev + sim::Time::seconds(sim::Rng::exp_transform(raw, rate));
+    block_.push_back({raw, when, static_cast<std::uint32_t>(round_robin_)});
+    round_robin_ = (round_robin_ + 1) % servers_.size();
+  }
+}
+
+void OpenLoopClient::push_and_arm(std::size_t first) {
+  for (std::size_t i = first; i < block_.size(); ++i) {
+    servers_[block_[i].server]->submit_at(block_[i].when, 1);
+  }
+  next_.cancel();
+  if (!block_.empty()) {
+    next_ = engine_->schedule_at(block_.back().when,
+                                 [this] { block_boundary(); });
+  }
+}
+
+void OpenLoopClient::block_boundary() {
+  ++arrival_events_;
+  if (!running_ || block_.empty()) return;
+  const sim::Time last = block_.back().when;
+  issued_base_ += block_.size();
+  block_.clear();
+  if (parked_) return;  // the projection hit a zero rate at `last`
+  if (cfg_.max_requests != 0 && issued_base_ >= cfg_.max_requests) return;
+  extend_block(last);
+  push_and_arm(0);
+}
+
+void OpenLoopClient::reproject(sim::Time now) {
+  // Recompute the projection under the changed config, exactly as the
+  // eager client would see it: arrivals at or before now happened; the
+  // first projected arrival beyond now keeps its already-drawn gap (eager
+  // drew it at that arrival's predecessor); every later gap is undrawn in
+  // the eager world, so those raws return to the spare pool and are
+  // re-transformed under the new rates.
+  std::size_t k = 0;
+  while (k < block_.size() && block_[k].when <= now) ++k;
+  const bool chain_live = k < block_.size();
+  const std::size_t keep = chain_live ? k + 1 : k;
+  for (std::size_t j = block_.size(); j > keep; --j) {
+    spare_.push_front(block_[j - 1].raw);
+  }
+  const std::size_t dropped = block_.size() - keep;
+  const std::size_t s = servers_.size();
+  round_robin_ = (round_robin_ + s - dropped % s) % s;
+  block_.resize(keep);
+  if (!chain_live) {
+    // No in-flight arrival: the chain is parked (or exhausted).  Fold the
+    // all-past block like its boundary event would, then revive from now —
+    // matching the eager set_rate(), which draws the revival gap from now.
+    issued_base_ += block_.size();
+    block_.clear();
+    next_.cancel();
+    for (RequestServer* srv : servers_) srv->retract_future_after(now);
+    if (cfg_.max_requests != 0 && issued_base_ >= cfg_.max_requests) return;
+    extend_block(now);
+    push_and_arm(0);
+    return;
+  }
+  // Retract the dropped projections: the kept in-flight arrival bounds its
+  // own server; no other server holds anything committed beyond now.
+  const Projected beyond = block_.back();
+  for (std::size_t i = 0; i < s; ++i) {
+    servers_[i]->retract_future_after(
+        i == beyond.server ? beyond.when : now);
+  }
+  const std::size_t first = block_.size();
+  extend_block(beyond.when);
+  push_and_arm(first);
 }
 
 }  // namespace vprobe::wl

@@ -324,9 +324,10 @@ TEST(FleetChurnFuzz, ShardedMatchesSerialAndRepeats) {
 /// histogram, SLO count, and served total — the caller asserts exact
 /// repeatability and serial/sharded identity over ALL of it.
 std::uint64_t run_serving_churn_fuzz(std::uint64_t seed, int steps,
-                                     int sim_threads) {
+                                     int sim_threads, bool lazy = true) {
   SCOPED_TRACE("serving seed=" + std::to_string(seed) +
                " sim_threads=" + std::to_string(sim_threads) +
+               " lazy=" + std::to_string(lazy) +
                " (reproduce: churn_fuzz_test --seed=" + std::to_string(seed) +
                " --steps=" + std::to_string(steps) + ")");
   constexpr std::int64_t kMiB = 1024ll * 1024;
@@ -371,6 +372,10 @@ std::uint64_t run_serving_churn_fuzz(std::uint64_t seed, int steps,
   wl::OpenLoopClient::Config ocfg;
   ocfg.rps = 15000.0;
   ocfg.seed = seed;
+  ocfg.lazy = lazy;
+  // A small block makes the fuzzer's rate pokes land mid-block nearly every
+  // time, hammering the lazy commit/retract rule under full lifecycle churn.
+  ocfg.block = 8;
   wl::OpenLoopClient client(fleet.engine(), ocfg, std::move(targets));
 
   struct FleetVm {
@@ -466,11 +471,16 @@ TEST(ServingChurnFuzz, ShardedMatchesSerialAndRepeats) {
     const std::uint64_t serial = run_serving_churn_fuzz(seed, steps, 1);
     const std::uint64_t serial2 = run_serving_churn_fuzz(seed, steps, 1);
     const std::uint64_t sharded = run_serving_churn_fuzz(seed, steps, 3);
+    const std::uint64_t eager = run_serving_churn_fuzz(seed, steps, 1, false);
     EXPECT_EQ(serial, serial2) << "serial serving fuzz is not reproducible";
     EXPECT_EQ(sharded, serial)
         << "PDES serving digest diverged from serial: "
         << trace::digest_hex(sharded) << " vs " << trace::digest_hex(serial)
         << " — see docs/PDES.md for the divergence debugging workflow";
+    EXPECT_EQ(eager, serial)
+        << "lazy arrival delivery diverged from the per-arrival event path: "
+        << trace::digest_hex(eager) << " vs " << trace::digest_hex(serial)
+        << " — see docs/SERVING.md (lazy arrival delivery)";
     if (HasFatalFailure()) return;
   }
 }

@@ -198,6 +198,230 @@ TEST(Arrivals, InertClientNeverDrawsAndSetRateRevives) {
   EXPECT_GT(predicted, 0u);
 }
 
+// -- Lazy arrival delivery ------------------------------------------------------
+//
+// The lazy block path (docs/SERVING.md) must be bit-identical to the eager
+// per-arrival event path under every edge the client exposes: rate changes
+// mid-block (including park/revive through zero), stop() with a non-empty
+// pre-drawn block, restart after stop (the spare-raw pool), and workers
+// parking at exact block boundaries.  Each test runs the same script under
+// both paths and compares the full observable state.
+
+struct ScriptResult {
+  std::uint64_t hist_digest = 0;
+  std::uint64_t served = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t events = 0;
+};
+
+/// One scripted run: start at t=0, apply (time, rate) pokes in order, stop
+/// at stop_at (0 = never), restart at restart_at (0 = never), run to the
+/// horizon.  Same seeds everywhere, so lazy and eager runs are twins.
+ScriptResult run_scripted(bool lazy, int block, double rps,
+                          const std::vector<std::pair<double, double>>& pokes,
+                          double stop_at, double restart_at, double horizon) {
+  ServingRig rig = make_rig(21);
+  wl::OpenLoopClient::Config ocfg;
+  ocfg.rps = rps;
+  ocfg.seed = 33;
+  ocfg.lazy = lazy;
+  ocfg.block = block;
+  wl::OpenLoopClient client(rig.hv->engine(), ocfg, {rig.server.get()});
+  rig.hv->start();
+  client.start();
+  sim::Engine& eng = rig.hv->engine();
+  for (const auto& [t, r] : pokes) {
+    eng.run_until(sim::Time::seconds(t));
+    client.set_rate(r);
+  }
+  if (stop_at > 0.0) {
+    eng.run_until(sim::Time::seconds(stop_at));
+    client.stop();
+  }
+  if (restart_at > 0.0) {
+    eng.run_until(sim::Time::seconds(restart_at));
+    client.start();
+  }
+  eng.run_until(sim::Time::seconds(horizon));
+  ScriptResult r;
+  r.hist_digest = rig.server->latency_hist().digest();
+  r.served = rig.server->served();
+  r.issued = client.issued();
+  r.coalesced = rig.server->arrivals_coalesced();
+  r.events = client.arrival_events() + rig.server->arrival_events();
+  return r;
+}
+
+void expect_script_identical(const ScriptResult& lazy,
+                             const ScriptResult& eager) {
+  EXPECT_EQ(lazy.hist_digest, eager.hist_digest)
+      << "lazy delivery moved a wake or sojourn time";
+  EXPECT_EQ(lazy.served, eager.served);
+  EXPECT_EQ(lazy.issued, eager.issued);
+  EXPECT_EQ(eager.coalesced, 0u) << "the eager path must coalesce nothing";
+}
+
+TEST(LazyArrivals, SetRateParkAndReviveMidBlockMatchEager) {
+  // Rate pokes land mid-block on purpose (block 4 at 3000 rps turns over
+  // every ~1.3 ms; pokes come every 50 ms), including park (rate 0) with a
+  // non-empty pre-drawn block and revival from park.  The commit rule —
+  // keep arrivals that happened plus the one in-flight gap, re-transform
+  // the rest under the new rate — must reproduce the eager stream exactly.
+  const std::vector<std::pair<double, double>> pokes = {
+      {0.05, 0.0}, {0.10, 8000.0}, {0.15, 500.0}, {0.20, 0.0}, {0.25, 12000.0}};
+  const ScriptResult eager =
+      run_scripted(false, 4, 3000.0, pokes, 0.0, 0.0, 0.35);
+  const ScriptResult small =
+      run_scripted(true, 4, 3000.0, pokes, 0.0, 0.0, 0.35);
+  const ScriptResult big =
+      run_scripted(true, 64, 3000.0, pokes, 0.0, 0.0, 0.35);
+  ASSERT_GT(eager.issued, 100u);
+  expect_script_identical(small, eager);
+  expect_script_identical(big, eager);
+  // The block size is a pure batching knob: both lazy runs are identical.
+  EXPECT_EQ(small.hist_digest, big.hist_digest);
+}
+
+TEST(LazyArrivals, StopMidBlockAndRestartContinueTheStream) {
+  // stop() with ~60 undelivered projections: arrivals that happened by the
+  // stop time are delivered at their true timestamps, the in-flight gap is
+  // discarded (the eager client drew and dropped it too), and the undrawn
+  // tail returns to the spare pool — so a restart resumes the stream at
+  // exactly the eager client's position.
+  const ScriptResult eager =
+      run_scripted(false, 64, 4000.0, {}, 0.1, 0.2, 0.3);
+  const ScriptResult lazy =
+      run_scripted(true, 64, 4000.0, {}, 0.1, 0.2, 0.3);
+  ASSERT_GT(eager.issued, 500u);
+  expect_script_identical(lazy, eager);
+}
+
+TEST(LazyArrivals, ParkedWorkersMaterializeArrivalsAtExactTimes) {
+  // At 200 rps against 4 fast workers every worker parks between arrivals,
+  // so every projected arrival must be materialized as a real event at its
+  // exact time (a late wake would shift every burst and the histogram).
+  // Block 8 also makes many arrivals land exactly at a block boundary,
+  // pinning the boundary-event/materialization-event commutation.
+  const ScriptResult eager =
+      run_scripted(false, 8, 200.0, {}, 0.0, 0.0, 1.0);
+  const ScriptResult lazy =
+      run_scripted(true, 8, 200.0, {}, 0.0, 0.0, 1.0);
+  ASSERT_GT(eager.issued, 100u);
+  EXPECT_EQ(eager.issued, eager.served) << "an idle fleet serves everything";
+  expect_script_identical(lazy, eager);
+}
+
+TEST(LazyArrivals, SaturatedHighRateRunCoalescesMostArrivals) {
+  // 400k rps against one 4-worker server (≈80k rps capacity) saturates
+  // immediately: workers never park, so nearly every arrival is pure
+  // bookkeeping the busy workers absorb in bulk.  The lazy path pays ~one
+  // engine event per block instead of one per arrival while remaining
+  // bit-identical.
+  const ScriptResult eager =
+      run_scripted(false, 64, 400000.0, {}, 0.0, 0.0, 0.1);
+  const ScriptResult lazy =
+      run_scripted(true, 64, 400000.0, {}, 0.0, 0.0, 0.1);
+  ASSERT_GT(eager.issued, 20000u);
+  ASSERT_LT(eager.served, eager.issued) << "the rig must actually saturate";
+  expect_script_identical(lazy, eager);
+  EXPECT_GT(lazy.coalesced, 0u);
+  EXPECT_LE(lazy.events * 5, eager.events)
+      << "lazy delivery must pay at least 5x fewer arrival events";
+}
+
+// -- Bulk submit ----------------------------------------------------------------
+
+TEST(Server, BulkSubmitMatchesThePerRequestLoop) {
+  // submit(n) distributes n over the workers in O(workers); the reference
+  // rig replays the per-request round-robin loop it replaced.  Batch sizes
+  // are chosen to wrap the worker ring unevenly (5, 8, 37, 100 over 4
+  // workers) so the share arithmetic and the ring position are both pinned.
+  ServingRig fast = make_rig(13);
+  ServingRig ref = make_rig(13);
+  fast.hv->start();
+  ref.hv->start();
+  int ref_rr = 0;
+  const int workers = ref.server->workers();
+  const auto step = [&](double t, int n) {
+    fast.hv->engine().run_until(sim::Time::seconds(t));
+    ref.hv->engine().run_until(sim::Time::seconds(t));
+    fast.server->submit(n);
+    for (int i = 0; i < n; ++i) {
+      ref.server->submit_to(ref_rr, 1);
+      ref_rr = (ref_rr + 1) % workers;
+    }
+  };
+  step(0.001, 5);
+  step(0.002, 8);
+  step(0.004, 37);
+  step(0.010, 100);
+  step(0.020, 3);
+  fast.hv->engine().run_until(sim::Time::seconds(0.1));
+  ref.hv->engine().run_until(sim::Time::seconds(0.1));
+  EXPECT_EQ(fast.server->served(), ref.server->served());
+  EXPECT_EQ(fast.server->pending(), ref.server->pending());
+  EXPECT_EQ(fast.server->latency_hist().digest(),
+            ref.server->latency_hist().digest())
+      << "bulk submit changed a wake time or sojourn";
+  EXPECT_EQ(fast.server->served(), 153u);
+}
+
+// -- Power-of-two-choices dispatch ----------------------------------------------
+
+TEST(Arrivals, P2cDispatchIsDeterministicAndOffByDefault) {
+  EXPECT_EQ(wl::OpenLoopClient::Config{}.balance,
+            wl::OpenLoopClient::Config::Balance::kRoundRobin)
+      << "p2c must be opt-in so existing goldens stand";
+
+  const auto run_p2c = [] {
+    ServingRig a = make_rig(17, 2);
+    // A second server in its own domain on the same host.
+    hv::Domain& dom2 = a.hv->create_domain("kv2", 2 * kTestGB, 2,
+                                           numa::PlacementPolicy::kFillFirst);
+    wl::RequestServer::Config kcfg;
+    kcfg.workers = 2;
+    kcfg.instr_per_request = 50e3;
+    kcfg.max_batch = 16;
+    kcfg.name = "kv:kv2";
+    const auto vcpus = domain_vcpus(dom2);
+    wl::RequestServer second(*a.hv, dom2, kcfg, vcpus);
+    wl::OpenLoopClient::Config ocfg;
+    ocfg.rps = 5000.0;
+    ocfg.seed = 19;
+    ocfg.balance = wl::OpenLoopClient::Config::Balance::kP2c;
+    wl::OpenLoopClient client(a.hv->engine(), ocfg,
+                              {a.server.get(), &second});
+    a.hv->start();
+    client.start();
+    a.hv->engine().run_until(sim::Time::seconds(0.5));
+    return std::tuple{client.issued(), a.server->served(), second.served(),
+                      a.server->latency_hist().digest()};
+  };
+  const auto first = run_p2c();
+  EXPECT_EQ(first, run_p2c()) << "p2c dispatch must be seed-deterministic";
+  const auto& [issued, served0, served1, digest] = first;
+  (void)digest;
+  EXPECT_GT(issued, 1000u);
+  EXPECT_GT(served0, 0u);
+  EXPECT_GT(served1, 0u);
+  // With both queues short, most picks tie and the tie-break (lower index)
+  // favours server 0: a pin on the documented deterministic rule.
+  EXPECT_GT(served0, served1);
+}
+
+TEST(Arrivals, P2cScenarioDirectiveParsesAndValidates) {
+  runner::ScenarioSpec spec = runner::parse_scenario(
+      "machine xeon_e5620\nvm name=kv mem=2G vcpus=4\n"
+      "app vm=kv kind=kv threads=4\nopenloop rps=1000 balance=p2c\n");
+  EXPECT_EQ(spec.openloop.balance, "p2c");
+  EXPECT_THROW(runner::parse_scenario(
+                   "machine xeon_e5620\nvm name=kv mem=2G vcpus=4\n"
+                   "app vm=kv kind=kv threads=4\n"
+                   "openloop rps=1000 balance=random\n"),
+               std::invalid_argument);
+}
+
 // -- LatencyHistogram -----------------------------------------------------------
 
 /// Exact ceil-rank order statistic on a sorted sample set.
@@ -511,6 +735,28 @@ TEST(SpikeFleet, JobsAndShardCountsNeverChangeTheServingStats) {
     runner::ScenarioSpec sharded = spec;
     sharded.sim_threads = threads;
     expect_serving_identical(serial, runner::run_scenario(sharded));
+  }
+
+  // --no-lazy-arrivals: the per-arrival event path must reproduce the lazy
+  // default bit for bit, serial and sharded, while the counters show the
+  // lazy run actually skipped arrival events (the escape hatch proves the
+  // optimisation is observable only through the counters).
+  runner::ScenarioSpec eager = spec;
+  eager.lazy_arrivals = false;
+  const stats::RunMetrics eager_m = runner::run_scenario(eager);
+  {
+    SCOPED_TRACE("--no-lazy-arrivals");
+    expect_serving_identical(serial, eager_m);
+  }
+  EXPECT_EQ(eager_m.arrivals_coalesced, 0u);
+  EXPECT_GT(serial.arrivals_coalesced, 0u)
+      << "the spike run must coalesce arrivals on the lazy path";
+  EXPECT_LT(serial.arrival_events, eager_m.arrival_events);
+  {
+    SCOPED_TRACE("--no-lazy-arrivals --sim-threads 4");
+    runner::ScenarioSpec eager_sharded = eager;
+    eager_sharded.sim_threads = 4;
+    expect_serving_identical(serial, runner::run_scenario(eager_sharded));
   }
 }
 
